@@ -1,0 +1,92 @@
+"""Ablation: CNF preprocessing in front of the CDCL solver.
+
+Measures what SatELite-style simplification (unit propagation,
+subsumption, self-subsuming resolution) buys on the provenance formulas
+``phi_(t, D, Q)``: clause-count reduction, forced literals, and the
+effect on the first SAT call — the call whose latency dominates the
+"time to first explanation" a user perceives.
+"""
+
+import time
+
+import pytest
+
+from repro.core.encoder import encode_why_provenance
+from repro.datalog.engine import evaluate
+from repro.harness.runner import sample_answer_tuples
+from repro.harness.tables import render_table
+from repro.sat.preprocessing import preprocess
+from repro.sat.solver import CDCLSolver
+from repro.scenarios import get_scenario
+
+from _common import print_banner, run_once
+
+CASES = [
+    ("Doctors-2", "D1"),
+    ("CSDA", "httpd"),
+    ("TransClosure", "bitcoin"),
+    ("Andersen", "D1"),
+    ("Galen", "D1"),
+]
+
+
+def _formula_for(scenario_name, db_name):
+    scenario = get_scenario(scenario_name)
+    query = scenario.query()
+    database = scenario.database(db_name).restrict(query.program.edb)
+    evaluation = evaluate(query.program, database)
+    tup = sample_answer_tuples(query, database, count=1, seed=7, evaluation=evaluation)[0]
+    return encode_why_provenance(query, database, tup).cnf
+
+
+def _solve_seconds(cnf):
+    solver = CDCLSolver()
+    solver.add_cnf(cnf)
+    start = time.perf_counter()
+    status = solver.solve(timeout_seconds=30)
+    return time.perf_counter() - start, status
+
+
+def _rows():
+    rows = []
+    for scenario_name, db_name in CASES:
+        cnf = _formula_for(scenario_name, db_name)
+        start = time.perf_counter()
+        result = preprocess(cnf)
+        preprocess_time = time.perf_counter() - start
+        raw_time, raw_status = _solve_seconds(cnf)
+        reduced_time, reduced_status = _solve_seconds(result.cnf)
+        if raw_status is not None and reduced_status is not None:
+            assert bool(raw_status) == bool(reduced_status)
+        rows.append(
+            [
+                f"{scenario_name}/{db_name}",
+                len(cnf),
+                len(result.cnf),
+                len(result.forced),
+                result.stats["subsumed"] + result.stats["strengthened"],
+                f"{preprocess_time:.3f}",
+                f"{raw_time:.3f}",
+                f"{reduced_time:.3f}",
+            ]
+        )
+    return rows
+
+
+def test_print_preprocessing_ablation(benchmark, capsys):
+    rows = run_once(benchmark, _rows)
+    with capsys.disabled():
+        print_banner("Ablation: CNF preprocessing on provenance formulas")
+        print(render_table(
+            [
+                "Formula",
+                "Clauses",
+                "After",
+                "Forced",
+                "Removed/strengthened",
+                "Prep (s)",
+                "Solve raw (s)",
+                "Solve prep (s)",
+            ],
+            rows,
+        ))

@@ -1,0 +1,95 @@
+"""Ablation: CDCL (Glucose-style) vs plain DPLL on provenance formulas.
+
+The paper leans on a state-of-the-art SAT solver; this ablation measures
+what the clause-learning machinery buys over chronological backtracking on
+the very formulas the pipeline produces.
+"""
+
+import time
+
+import pytest
+
+from repro.datalog.engine import evaluate
+from repro.harness.runner import sample_answer_tuples
+from repro.harness.tables import render_table
+from repro.core.encoder import encode_why_provenance
+from repro.sat.dpll import DPLLBudgetExceeded, solve_dpll
+from repro.sat.solver import CDCLSolver
+from repro.scenarios import get_scenario
+
+from _common import print_banner, run_once
+
+CASES = [
+    ("Doctors-2", "D1"),
+    ("CSDA", "httpd"),
+    ("TransClosure", "bitcoin"),
+    ("Andersen", "D1"),
+]
+
+DPLL_BUDGET = 200_000
+
+
+def _formula_for(scenario_name, db_name):
+    scenario = get_scenario(scenario_name)
+    query = scenario.query()
+    database = scenario.database(db_name).restrict(query.program.edb)
+    evaluation = evaluate(query.program, database)
+    tup = sample_answer_tuples(query, database, count=1, seed=7, evaluation=evaluation)[0]
+    return encode_why_provenance(query, database, tup).cnf
+
+
+def _comparison_rows():
+    rows = []
+    for scenario_name, db_name in CASES:
+        cnf = _formula_for(scenario_name, db_name)
+        start = time.perf_counter()
+        solver = CDCLSolver()
+        solver.add_cnf(cnf)
+        cdcl_sat = solver.solve(timeout_seconds=30)
+        cdcl_time = time.perf_counter() - start
+        start = time.perf_counter()
+        try:
+            dpll_sat = solve_dpll(cnf, max_nodes=DPLL_BUDGET) is not None
+            dpll_time = f"{time.perf_counter() - start:.3f}"
+        except DPLLBudgetExceeded:
+            dpll_sat = None
+            dpll_time = f">{time.perf_counter() - start:.1f} (budget)"
+        if dpll_sat is not None:
+            assert bool(cdcl_sat) == dpll_sat
+        rows.append(
+            [
+                f"{scenario_name}/{db_name}",
+                cnf.num_vars,
+                len(cnf.clauses),
+                f"{cdcl_time:.3f}",
+                dpll_time,
+                solver.stats.conflicts,
+            ]
+        )
+    return rows
+
+
+def test_print_solver_comparison(benchmark, capsys):
+    rows = run_once(benchmark, _comparison_rows)
+    with capsys.disabled():
+        print_banner("Ablation: CDCL vs DPLL on provenance formulas")
+        print(render_table(
+            ["Formula", "Vars", "Clauses", "CDCL (s)", "DPLL (s)", "CDCL conflicts"],
+            rows,
+        ))
+
+
+@pytest.mark.parametrize("engine", ["cdcl", "dpll"])
+def test_solver_kernel(benchmark, engine):
+    cnf = _formula_for("Doctors-2", "D1")
+
+    if engine == "cdcl":
+        def run():
+            solver = CDCLSolver()
+            solver.add_cnf(cnf)
+            return solver.solve()
+    else:
+        def run():
+            return solve_dpll(cnf, max_nodes=DPLL_BUDGET) is not None
+
+    assert benchmark(run)

@@ -1,0 +1,71 @@
+"""Figure 3 (a-e): build time for every scenario of Table 1.
+
+One sub-table per scenario family, mirroring the five plots: (a) Doctors,
+(b) TransClosure, (c) Galen, (d) Andersen, (e) CSDA.
+
+Paper shapes to reproduce: simple linear queries (Doctors, TransClosure,
+CSDA) build fast; the non-linear recursive queries (Galen, Andersen) cost
+more per fact; build time grows with the database within each family.
+"""
+
+from repro.harness.tables import figure_build_times, render_table
+
+from _common import cached_run, print_banner, run_once, scenario_runs
+
+DOCTORS = [f"Doctors-{i}" for i in range(1, 8)]
+
+
+def test_print_figure3a_doctors(benchmark, capsys):
+    runs = run_once(benchmark, lambda: [cached_run(name, "D1") for name in DOCTORS])
+    with capsys.disabled():
+        print_banner("Figure 3(a): build time (Doctors-1..7)")
+        rows = []
+        for run in runs:
+            for r in run.tuple_runs:
+                rows.append([
+                    run.scenario,
+                    f"{r.closure_seconds:.3f}",
+                    f"{r.formula_seconds:.3f}",
+                    f"{r.build_seconds:.3f}",
+                ])
+        print(render_table(["Variant", "Closure (s)", "Formula (s)", "Total (s)"], rows))
+
+
+def test_print_figure3b_transclosure(benchmark, capsys):
+    runs = run_once(benchmark, lambda: scenario_runs("TransClosure"))
+    with capsys.disabled():
+        print_banner("Figure 3(b): build time (TransClosure)")
+        print(figure_build_times(runs, ""))
+
+
+def test_print_figure3c_galen(benchmark, capsys):
+    runs = run_once(benchmark, lambda: scenario_runs("Galen"))
+    with capsys.disabled():
+        print_banner("Figure 3(c): build time (Galen)")
+        print(figure_build_times(runs, ""))
+
+
+def test_print_figure3d_andersen(benchmark, capsys):
+    runs = run_once(benchmark, lambda: scenario_runs("Andersen"))
+    with capsys.disabled():
+        print_banner("Figure 3(d): build time (Andersen)")
+        print(figure_build_times(runs, ""))
+
+
+def test_print_figure3e_csda(benchmark, capsys):
+    runs = run_once(benchmark, lambda: scenario_runs("CSDA"))
+    with capsys.disabled():
+        print_banner("Figure 3(e): build time (CSDA)")
+        print(figure_build_times(runs, ""))
+
+
+def test_shape_largest_database_not_cheapest(benchmark, capsys):
+    """Within CSDA, the largest database should not be the cheapest build."""
+    runs = run_once(benchmark, lambda: scenario_runs("CSDA"))
+    means = {
+        run.database: sum(run.build_times()) / max(1, len(run.build_times()))
+        for run in runs
+    }
+    with capsys.disabled():
+        print("\nCSDA mean build seconds:", {k: f"{v:.3f}" for k, v in means.items()})
+    assert means["linux"] >= min(means.values())

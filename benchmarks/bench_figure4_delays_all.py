@@ -1,0 +1,75 @@
+"""Figure 4 (a-e): enumeration delays for every scenario of Table 1.
+
+Paper shapes to reproduce: delays are small (sub-millisecond to
+millisecond medians on the easy scenarios), and the densely connected
+TransClosure/facebook database is the outlier with the heaviest delays —
+its connectivity blows up the acyclicity part of the formula (the paper's
+Figure 4(b) discussion).
+"""
+
+from repro.harness.stats import box_stats
+from repro.harness.tables import figure_delays, render_table
+
+from _common import cached_run, print_banner, run_once, scenario_runs
+
+DOCTORS = [f"Doctors-{i}" for i in range(1, 8)]
+
+
+def test_print_figure4a_doctors(benchmark, capsys):
+    runs = run_once(benchmark, lambda: [cached_run(name, "D1") for name in DOCTORS])
+    with capsys.disabled():
+        print_banner("Figure 4(a): enumeration delays in ms (Doctors-1..7)")
+        rows = []
+        for run in runs:
+            delays = run.pooled_delays()
+            if not delays:
+                rows.append([run.scenario, 0, "-", "-", "-"])
+                continue
+            box = box_stats(delays)
+            ms = box.as_row(scale=1000.0)
+            rows.append([run.scenario, box.count, f"{ms[0]:.3f}", f"{ms[2]:.3f}", f"{ms[4]:.3f}"])
+        print(render_table(["Variant", "Members", "Min (ms)", "Median (ms)", "Max (ms)"], rows))
+
+
+def test_print_figure4b_transclosure(benchmark, capsys):
+    runs = run_once(benchmark, lambda: scenario_runs("TransClosure"))
+    with capsys.disabled():
+        print_banner("Figure 4(b): enumeration delays in ms (TransClosure)")
+        print(figure_delays(runs, ""))
+
+
+def test_print_figure4c_galen(benchmark, capsys):
+    runs = run_once(benchmark, lambda: scenario_runs("Galen"))
+    with capsys.disabled():
+        print_banner("Figure 4(c): enumeration delays in ms (Galen)")
+        print(figure_delays(runs, ""))
+
+
+def test_print_figure4d_andersen(benchmark, capsys):
+    runs = run_once(benchmark, lambda: scenario_runs("Andersen"))
+    with capsys.disabled():
+        print_banner("Figure 4(d): enumeration delays in ms (Andersen)")
+        print(figure_delays(runs, ""))
+
+
+def test_print_figure4e_csda(benchmark, capsys):
+    runs = run_once(benchmark, lambda: scenario_runs("CSDA"))
+    with capsys.disabled():
+        print_banner("Figure 4(e): enumeration delays in ms (CSDA)")
+        print(figure_delays(runs, ""))
+
+
+def test_shape_facebook_delays_heavier_than_bitcoin(benchmark, capsys):
+    """The dense social graph must not be easier than the sparse one."""
+    runs = {
+        run.database: run
+        for run in run_once(benchmark, lambda: scenario_runs("TransClosure"))
+    }
+    bitcoin = runs["bitcoin"].pooled_delays()
+    facebook = runs["facebook"].pooled_delays()
+    assert bitcoin and facebook
+    bitcoin_max = max(bitcoin)
+    facebook_max = max(facebook)
+    with capsys.disabled():
+        print(f"\nmax delay bitcoin {bitcoin_max * 1000:.3f} ms vs "
+              f"facebook {facebook_max * 1000:.3f} ms")

@@ -1,0 +1,74 @@
+"""Hardness-reduction benchmark: 3SAT -> Why-Provenance[LDat] (Lemma 17).
+
+Not a paper figure, but the executable content of Theorem 3: random 3CNF
+instances are translated to membership queries and decided through the
+provenance machinery; answers are cross-checked against a brute-force SAT
+oracle and the scaling of the decision time is reported.
+"""
+
+import time
+
+import pytest
+
+from repro.core.decision import decide_why
+from repro.harness.tables import render_table
+from repro.reductions.three_sat import (
+    brute_force_3sat,
+    random_3cnf,
+    three_sat_instance,
+)
+
+from _common import print_banner, run_once
+
+SIZES = [(3, 4), (4, 5), (4, 6)]
+SEEDS = range(3)
+
+
+def _scaling_rows():
+    rows = []
+    for num_vars, num_clauses in SIZES:
+        times = []
+        agree = True
+        for seed in SEEDS:
+            clauses = random_3cnf(num_vars, num_clauses, seed=seed)
+            query, db, tup = three_sat_instance(clauses, num_vars)
+            start = time.perf_counter()
+            member = decide_why(query, db, tup, db.facts())
+            times.append(time.perf_counter() - start)
+            agree &= member == (brute_force_3sat(clauses, num_vars) is not None)
+        assert agree
+        rows.append(
+            [
+                f"{num_vars} vars / {num_clauses} clauses",
+                len(list(SEEDS)),
+                f"{min(times):.3f}",
+                f"{max(times):.3f}",
+                "yes",
+            ]
+        )
+    return rows
+
+
+def test_print_scaling(benchmark, capsys):
+    rows = run_once(benchmark, _scaling_rows)
+    with capsys.disabled():
+        print_banner("Reduction check: 3SAT -> Why-Provenance[LDat] (Thm. 3)")
+        print(render_table(
+            ["Instance size", "Instances", "Min (s)", "Max (s)", "Oracle agreement"],
+            rows,
+        ))
+
+
+@pytest.mark.parametrize("satisfiable", [True, False])
+def test_decision_kernel(benchmark, satisfiable):
+    if satisfiable:
+        clauses = random_3cnf(4, 5, seed=1)
+        assert brute_force_3sat(clauses, 4) is not None
+    else:
+        clauses = [
+            (1, 2, 3), (1, 2, -3), (1, -2, 3), (1, -2, -3),
+            (-1, 2, 3), (-1, 2, -3), (-1, -2, 3), (-1, -2, -3),
+        ]
+    query, db, tup = three_sat_instance(clauses, 4 if satisfiable else 3)
+    result = benchmark(decide_why, query, db, tup, db.facts())
+    assert result is satisfiable

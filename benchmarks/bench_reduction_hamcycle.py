@@ -1,0 +1,69 @@
+"""Hardness-reduction benchmark: Hamiltonian cycle -> whyNR (Lemma 24).
+
+The executable content of Theorems 14/19: random digraphs are translated
+to non-recursive-tree membership queries, cross-checked against a
+permutation oracle, and timed as the graphs grow.
+"""
+
+import time
+
+import pytest
+
+from repro.core.decision import decide_why_nonrecursive
+from repro.harness.tables import render_table
+from repro.reductions.hamiltonian import (
+    brute_force_hamiltonian_cycle,
+    hamiltonian_instance,
+    random_digraph,
+)
+
+from _common import print_banner, run_once
+
+SIZES = [3, 4]
+SEEDS = range(4)
+
+
+def _scaling_rows():
+    rows = []
+    for n in SIZES:
+        times = []
+        positives = 0
+        for seed in SEEDS:
+            nodes, edges = random_digraph(
+                n, 0.4, seed=seed, ensure_cycle=(seed % 2 == 0)
+            )
+            query, db, tup = hamiltonian_instance(nodes, edges)
+            start = time.perf_counter()
+            member = decide_why_nonrecursive(query, db, tup, db.facts())
+            times.append(time.perf_counter() - start)
+            expected = brute_force_hamiltonian_cycle(nodes, edges) is not None
+            assert member == expected
+            positives += member
+        rows.append(
+            [f"{n} nodes", len(list(SEEDS)), positives, f"{min(times):.3f}", f"{max(times):.3f}"]
+        )
+    return rows
+
+
+def test_print_scaling(benchmark, capsys):
+    rows = run_once(benchmark, _scaling_rows)
+    with capsys.disabled():
+        print_banner("Reduction check: Ham-Cycle -> Why-Provenance_NR[LDat] (Thm. 19)")
+        print(render_table(
+            ["Graph size", "Instances", "Cycles found", "Min (s)", "Max (s)"],
+            rows,
+        ))
+
+
+@pytest.mark.parametrize("has_cycle", [True, False])
+def test_decision_kernel(benchmark, has_cycle):
+    if has_cycle:
+        nodes = ["a", "b", "c", "d"]
+        edges = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("b", "a")]
+    else:
+        nodes = ["a", "b", "c", "d"]
+        edges = [("a", "b"), ("b", "c"), ("c", "d"), ("b", "a")]
+    assert (brute_force_hamiltonian_cycle(nodes, edges) is not None) == has_cycle
+    query, db, tup = hamiltonian_instance(nodes, edges)
+    result = benchmark(decide_why_nonrecursive, query, db, tup, db.facts())
+    assert result is has_cycle

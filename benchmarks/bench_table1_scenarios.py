@@ -1,0 +1,46 @@
+"""Table 1: the experimental scenarios.
+
+Regenerates the scenario inventory — database names with fact counts,
+query type (linearity / recursion), and rule counts — and benchmarks
+database generation (the substitute for the paper's dataset loading).
+"""
+
+import pytest
+
+from repro.harness.tables import table1
+from repro.scenarios import all_scenarios, get_scenario
+
+from _common import print_banner, run_once
+
+
+def test_print_table1(benchmark, capsys):
+    scenarios = all_scenarios()
+
+    def build_counts():
+        return {
+            (scenario.name, db.name): len(db.build())
+            for scenario in scenarios
+            for db in scenario.databases
+        }
+
+    fact_counts = run_once(benchmark, build_counts)
+    with capsys.disabled():
+        print_banner("Table 1: Experimental scenarios")
+        print(table1(scenarios, fact_counts))
+
+
+@pytest.mark.parametrize(
+    "scenario_name,db_name",
+    [
+        ("TransClosure", "bitcoin"),
+        ("TransClosure", "facebook"),
+        ("Doctors-1", "D1"),
+        ("Galen", "D4"),
+        ("Andersen", "D5"),
+        ("CSDA", "linux"),
+    ],
+)
+def test_database_generation(benchmark, scenario_name, db_name):
+    scenario = get_scenario(scenario_name)
+    database = benchmark(scenario.database, db_name)
+    assert len(database) > 0

@@ -1,0 +1,67 @@
+"""Explaining an ontology subsumption (the Galen scenario).
+
+An EL reasoner derives that ``bacterial_pericarditis`` is a kind of
+``serious_condition``. Ontology engineers want the *axiom sets* justifying
+the entailment — exactly the why-provenance of the derived subClassOf fact
+under the 14-rule ELK-style saturation program.
+
+Run with:  python examples/ontology_reasoning.py
+"""
+
+from repro import Atom, Database, why_provenance_unambiguous
+from repro.scenarios.galen import galen_query
+
+# A miniature medical TBox in the scenario's EDB schema.
+AXIOMS = [
+    # Taxonomy (told subsumptions).
+    Atom("sub", ("bacterial_pericarditis", "pericarditis")),
+    Atom("sub", ("pericarditis", "inflammation")),
+    # bacterial_pericarditis  ⊑  ∃ caused_by . bacterium
+    Atom("subex", ("bacterial_pericarditis", "caused_by", "bacterium")),
+    # ∃ caused_by . pathogen  ⊑  infectious_disease
+    Atom("exsub", ("caused_by", "pathogen", "infectious_disease")),
+    Atom("sub", ("bacterium", "pathogen")),
+    # inflammation ⊓ infectious_disease  ⊑  serious_condition
+    Atom("conj", ("inflammation", "infectious_disease", "serious_condition")),
+    # Distractor axioms (never needed for the entailment below).
+    Atom("sub", ("viral_pericarditis", "pericarditis")),
+    Atom("subex", ("viral_pericarditis", "caused_by", "virus")),
+    Atom("sub", ("virus", "pathogen")),
+]
+
+CLASSES = [
+    "bacterial_pericarditis", "viral_pericarditis", "pericarditis",
+    "inflammation", "bacterium", "virus", "pathogen",
+    "infectious_disease", "serious_condition",
+]
+
+
+def main() -> None:
+    query = galen_query()
+    database = Database(AXIOMS)
+    for cls in CLASSES:
+        database.add(Atom("class", (cls,)))
+
+    entailment = ("bacterial_pericarditis", "serious_condition")
+    print(f"entailment: {entailment[0]}  subClassOf  {entailment[1]}\n")
+
+    family = why_provenance_unambiguous(query, database, entailment)
+    print(f"{len(family)} justification(s):\n")
+    for i, member in enumerate(sorted(family, key=len), 1):
+        axioms = sorted(
+            (fact for fact in member if fact.pred != "class"), key=str
+        )
+        print(f"justification {i} ({len(axioms)} axioms):")
+        for axiom in axioms:
+            print(f"    {axiom}")
+        print()
+
+    # The viral branch is a distractor: no justification mentions it.
+    for member in family:
+        assert all("viral" not in str(fact) and "virus" not in str(fact)
+                   for fact in member)
+    print("note: the viral_pericarditis axioms occur in no justification.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Baseline why-provenance computations used for comparison benchmarks.
+
+Three families of comparators:
+
+* :mod:`~repro.baselines.all_at_once` — materialize the whole
+  why-provenance in one shot (the existential-rules style of Elhalawati
+  et al., the Figure 5 comparator);
+* :mod:`~repro.baselines.souffle_style` — one minimal-height witness per
+  fact (Zhao/Subotic/Scholz's scalable under-approximation);
+* :mod:`~repro.baselines.top_down` — QSQR-style tabled goal-directed
+  evaluation, an independent oracle for query answering.
+"""
+
+from .all_at_once import AllAtOnceReport, BaselineBudgetExceeded, all_at_once_why
+from .souffle_style import (
+    AnnotatedModel,
+    NotDerivableError,
+    SouffleStyleProvenance,
+    annotate,
+    explain_answer,
+    single_witness_why,
+)
+from .top_down import (
+    TopDownEngine,
+    TopDownStatistics,
+    answers_top_down,
+    call_pattern,
+    prove_top_down,
+)
+
+__all__ = [
+    "AllAtOnceReport",
+    "AnnotatedModel",
+    "BaselineBudgetExceeded",
+    "NotDerivableError",
+    "SouffleStyleProvenance",
+    "TopDownEngine",
+    "TopDownStatistics",
+    "all_at_once_why",
+    "annotate",
+    "answers_top_down",
+    "call_pattern",
+    "explain_answer",
+    "prove_top_down",
+    "single_witness_why",
+]

@@ -1,0 +1,192 @@
+"""Souffle-style provenance: one minimal-height witness per fact.
+
+Zhao, Subotic and Scholz (*Debugging large-scale Datalog*, TOPLAS 2020 —
+cited in the paper's introduction as the scalable under-approximation of
+why-provenance) instrument the semi-naive evaluation so that every
+derived fact remembers *one* rule instance that first produced it, at the
+earliest possible stage.  A proof tree can then be reconstructed on
+demand by chasing witnesses; its height equals the fact's derivation
+stage, which by Proposition 28 equals ``min-dag-depth`` — the
+reconstructed tree is a *minimal-depth* proof tree (Definition 26).
+
+The price of scalability is completeness: the strategy yields a single
+member of ``why(t, D, Q)`` (in fact of ``whyMD`` and ``whyUN``) instead
+of the whole family — the gap the paper's SAT machinery closes.  Tests
+assert both directions: the reconstructed support *is* a member, and on
+inputs with several members the baseline finds only one of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.program import DatalogQuery, Program
+from ..datalog.rules import GroundRule
+from ..datalog.unify import match_body, match_body_with_delta
+from ..provenance.proof_tree import ProofTree
+
+
+class NotDerivableError(ValueError):
+    """Raised when asked to explain a fact outside the least model."""
+
+
+@dataclass
+class AnnotatedModel:
+    """The least model plus one minimal-stage witness per derived fact.
+
+    Attributes
+    ----------
+    model:
+        ``Sigma(D)``, exactly as the plain engine computes it.
+    witnesses:
+        ``fact -> GroundRule`` chosen at the fact's first derivation
+        stage; database facts have no witness.
+    heights:
+        ``fact -> stage``; database facts have height 0.  Equals the
+        plain engine's ranks and ``min-dag-depth`` (Proposition 28).
+    """
+
+    model: Database
+    witnesses: Dict[Atom, GroundRule]
+    heights: Dict[Atom, int]
+
+
+def annotate(program: Program, database: Database) -> AnnotatedModel:
+    """Semi-naive evaluation instrumented with first-derivation witnesses.
+
+    Mirrors :func:`repro.datalog.engine.evaluate` but records, for every
+    fact, the first rule instance that fires for it.  Later (taller)
+    rederivations never overwrite the witness, so witness heights are
+    minimal — the invariant all proof-tree reconstruction rests on.
+    """
+    model = database.copy()
+    heights: Dict[Atom, int] = {fact: 0 for fact in database}
+    witnesses: Dict[Atom, GroundRule] = {}
+
+    idb = program.idb
+    edb_only_rules = []
+    recursive_rules: List[Tuple] = []
+    for rule in program.rules:
+        idb_positions = [i for i, atom in enumerate(rule.body) if atom.pred in idb]
+        if idb_positions:
+            recursive_rules.append((rule, idb_positions))
+        else:
+            edb_only_rules.append(rule)
+
+    delta = database.copy()
+    stage = 0
+    first_round = True
+    while len(delta):
+        next_stage = stage + 1
+        new_delta = Database()
+
+        def record(rule, subst) -> None:
+            head = rule.head.ground(subst)
+            if head in model or head in new_delta:
+                return
+            body = tuple(atom.ground(subst) for atom in rule.body)
+            witnesses[head] = GroundRule(rule, head, body)
+            heights[head] = next_stage
+            new_delta.add(head)
+
+        if first_round:
+            for rule in edb_only_rules:
+                for subst in match_body(rule.body, model):
+                    record(rule, subst)
+            first_round = False
+        for rule, idb_positions in recursive_rules:
+            for pos in idb_positions:
+                if delta.count(rule.body[pos].pred) == 0:
+                    continue
+                for subst in match_body_with_delta(rule.body, model, delta, pos):
+                    record(rule, subst)
+        if not len(new_delta):
+            break
+        stage = next_stage
+        for fact in new_delta:
+            model.add(fact)
+        delta = new_delta
+    return AnnotatedModel(model=model, witnesses=witnesses, heights=heights)
+
+
+@dataclass
+class SouffleStyleProvenance:
+    """On-demand single-witness explanations over an annotated model.
+
+    Build once per (program, database) pair; :meth:`explain` then
+    reconstructs a minimal-depth proof tree for any fact of the model in
+    time linear in the tree size, with no further fixpoint work — the
+    "provenance evaluation strategy" trade-off.
+    """
+
+    program: Program
+    database: Database
+    annotated: AnnotatedModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.annotated = annotate(self.program, self.database)
+
+    def holds(self, fact: Atom) -> bool:
+        return fact in self.annotated.model
+
+    def height(self, fact: Atom) -> int:
+        """The minimal proof height of *fact* (== rank == min-dag-depth)."""
+        try:
+            return self.annotated.heights[fact]
+        except KeyError:
+            raise NotDerivableError(f"{fact} is not in the least model") from None
+
+    def explain(self, fact: Atom) -> ProofTree:
+        """A minimal-depth proof tree of *fact*, chasing stored witnesses.
+
+        Witness heights strictly decrease along every branch, so the
+        recursion terminates; the resulting tree is unambiguous (each
+        fact is expanded the same way everywhere) and of minimal depth.
+        """
+        if fact not in self.annotated.model:
+            raise NotDerivableError(f"{fact} is not in the least model")
+
+        def build(current: Atom) -> ProofTree:
+            if current in self.database:
+                return ProofTree.leaf(current)
+            witness = self.annotated.witnesses[current]
+            children = [build(child) for child in witness.body]
+            return ProofTree.derive(witness, children)
+
+        return build(fact)
+
+    def support(self, fact: Atom) -> FrozenSet[Atom]:
+        """The support of the reconstructed witness tree."""
+        return self.explain(fact).support()
+
+
+def explain_answer(
+    query: DatalogQuery,
+    database: Database,
+    tup: Tuple,
+) -> Optional[ProofTree]:
+    """One minimal-depth proof tree of ``R(t)``, or None if not an answer."""
+    provenance = SouffleStyleProvenance(query.program, database)
+    fact = query.answer_atom(tup)
+    if not provenance.holds(fact):
+        return None
+    return provenance.explain(fact)
+
+
+def single_witness_why(
+    query: DatalogQuery,
+    database: Database,
+    tup: Tuple,
+) -> Optional[FrozenSet[Atom]]:
+    """The under-approximate why-provenance: one member or None.
+
+    This is the Souffle-style answer to the question the paper's SAT
+    pipeline answers exhaustively; benchmarks compare the two.
+    """
+    tree = explain_answer(query, database, tup)
+    if tree is None:
+        return None
+    return tree.support()

@@ -1,0 +1,223 @@
+"""Top-down (goal-directed) Datalog evaluation with tabling.
+
+The paper evaluates everything bottom-up through DLV, and Appendix D.5
+credits DLV's goal-directed optimizations (magic sets) for the memory
+advantage over the existential-rules baseline.  This module provides the
+*other* classical goal-directed strategy as an independent oracle: QSQR-
+style tabled resolution (Vieille's Query-SubQuery, the recursion-safe
+relative of Prolog's SLD resolution).
+
+Evaluation proceeds from the goal: a subgoal is solved by resolving it
+against every rule head, solving the body left to right, and *tabling*
+the answers per call pattern.  Re-entrant calls (a pattern already on the
+resolution stack) consume the answers tabled so far instead of recursing,
+and an outer fixpoint loop re-runs the resolution until no table grows —
+the standard recipe that makes top-down evaluation terminate and be
+complete on recursive Datalog.
+
+The engine answers exactly the facts relevant to the goal, which is the
+same work profile as the magic-set rewriting in
+:mod:`repro.datalog.magic`; both are benchmarked against plain bottom-up
+evaluation in ``benchmarks/bench_ablation_magic.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.program import DatalogQuery, Program
+from ..datalog.terms import Variable, is_variable
+from ..datalog.unify import match_atom
+
+#: A call pattern: predicate plus, per position, either a bound constant
+#: or a canonical variable marker encoding the equality pattern of the
+#: free positions (so ``p(X, X)`` and ``p(X, Y)`` table separately).
+CallPattern = Tuple[str, Tuple[object, ...]]
+
+
+def call_pattern(atom: Atom) -> CallPattern:
+    """Canonicalize *atom* into a table key."""
+    seen: Dict[Variable, int] = {}
+    shape: List[object] = []
+    for term in atom.args:
+        if is_variable(term):
+            index = seen.setdefault(term, len(seen))
+            shape.append(("?", index))
+        else:
+            shape.append(term)
+    return (atom.pred, tuple(shape))
+
+
+@dataclass
+class TopDownStatistics:
+    """Work counters for one engine instance."""
+
+    subgoal_calls: int = 0
+    table_hits: int = 0
+    resolution_steps: int = 0
+    fixpoint_passes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "subgoal_calls": self.subgoal_calls,
+            "table_hits": self.table_hits,
+            "resolution_steps": self.resolution_steps,
+            "fixpoint_passes": self.fixpoint_passes,
+        }
+
+
+@dataclass
+class TopDownEngine:
+    """Tabled top-down evaluation of a Datalog program over a database.
+
+    Use :meth:`query` to obtain all derivable ground instances of a goal
+    atom (which may contain variables), or :meth:`prove` for a ground
+    goal.  Tables persist across calls, so repeated goals are cheap.
+    """
+
+    program: Program
+    database: Database
+    stats: TopDownStatistics = field(default_factory=TopDownStatistics)
+
+    def __post_init__(self) -> None:
+        self._tables: Dict[CallPattern, Set[Atom]] = {}
+        self._fresh_counter = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def query(self, goal: Atom) -> FrozenSet[Atom]:
+        """All ground instances of *goal* derivable from the database."""
+        if goal.pred in self.program.edb or goal.pred not in self.program.schema:
+            # Purely extensional goals never need resolution.
+            return frozenset(self._edb_matches(goal))
+        pattern = call_pattern(goal)
+        while True:
+            self.stats.fixpoint_passes += 1
+            before = self._table_sizes()
+            self._solve(goal, frozenset())
+            if self._table_sizes() == before:
+                break
+        return frozenset(self._tables.get(pattern, ()))
+
+    def prove(self, goal: Atom) -> bool:
+        """Whether the *ground* atom *goal* is derivable."""
+        if goal.variables():
+            raise ValueError(f"prove() requires a ground goal, got {goal}")
+        return goal in self.query(goal)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def _table_sizes(self) -> Tuple[int, int]:
+        # Tables only ever grow, so (table count, total answers) is a
+        # faithful progress measure for the outer fixpoint loop.
+        return (len(self._tables), sum(len(t) for t in self._tables.values()))
+
+    def _edb_matches(self, goal: Atom) -> Iterable[Atom]:
+        bindings = {
+            position: term
+            for position, term in enumerate(goal.args)
+            if not is_variable(term)
+        }
+        for fact in self.database.matching(goal.pred, bindings):
+            if match_atom(goal, fact) is not None:
+                yield fact
+
+    def _rename_rule(self, rule):
+        self._fresh_counter += 1
+        return rule.rename_apart(f"@{self._fresh_counter}")
+
+    def _solve(self, goal: Atom, stack: FrozenSet[CallPattern]) -> Set[Atom]:
+        """Answers for *goal*, tabled under its call pattern.
+
+        *stack* holds the patterns currently being solved; a re-entrant
+        call returns the answers tabled so far (the outer fixpoint loop
+        of :meth:`query` picks up whatever is missing).
+        """
+        pattern = call_pattern(goal)
+        self.stats.subgoal_calls += 1
+        if pattern in stack:
+            self.stats.table_hits += 1
+            return self._tables.setdefault(pattern, set())
+        table = self._tables.setdefault(pattern, set())
+        stack = stack | {pattern}
+        for rule in self.program.rules_for(goal.pred):
+            renamed = self._rename_rule(rule)
+            head_subst = match_atom(renamed.head, goal) if goal.is_fact() else None
+            if goal.is_fact():
+                if head_subst is None:
+                    continue
+                start_subst = head_subst
+            else:
+                # Bind the head against the (possibly non-ground) goal by
+                # unifying constant positions only; free goal positions
+                # leave the head variables free.
+                start_subst = self._head_bindings(renamed.head, goal)
+                if start_subst is None:
+                    continue
+            for body_subst in self._solve_body(renamed.body, start_subst, stack):
+                self.stats.resolution_steps += 1
+                answer = renamed.head.ground(body_subst)
+                # Repeated goal variables impose equalities that the
+                # per-position head bindings above cannot express.
+                if answer not in table and match_atom(goal, answer) is not None:
+                    table.add(answer)
+        return table
+
+    @staticmethod
+    def _head_bindings(head: Atom, goal: Atom) -> Optional[Dict[Variable, object]]:
+        """Bindings forced on *head* by the bound positions of *goal*."""
+        subst: Dict[Variable, object] = {}
+        for head_term, goal_term in zip(head.args, goal.args):
+            if is_variable(goal_term):
+                continue
+            if is_variable(head_term):
+                bound = subst.get(head_term)
+                if bound is not None and bound != goal_term:
+                    return None
+                subst[head_term] = goal_term
+            elif head_term != goal_term:
+                return None
+        return subst
+
+    def _solve_body(
+        self,
+        body: Tuple[Atom, ...],
+        subst: Dict[Variable, object],
+        stack: FrozenSet[CallPattern],
+    ) -> Iterable[Dict[Variable, object]]:
+        """All substitutions closing *body* left to right under *subst*."""
+        if not body:
+            yield subst
+            return
+        first, rest = body[0], body[1:]
+        bound_first = first.substitute(subst)
+        if first.pred in self.program.idb:
+            candidates = self._solve(bound_first, stack)
+        else:
+            candidates = self._edb_matches(bound_first)
+        for fact in list(candidates):
+            extended = match_atom(bound_first, fact, dict(subst))
+            if extended is None:
+                continue
+            merged = dict(subst)
+            merged.update(extended)
+            yield from self._solve_body(rest, merged, stack)
+
+
+def answers_top_down(query: DatalogQuery, database: Database) -> Set[Tuple]:
+    """``Q(D)`` computed goal-directed; must equal the bottom-up answers."""
+    engine = TopDownEngine(query.program, database)
+    arity = query.answer_arity
+    goal = Atom(query.answer_predicate, tuple(Variable(f"X{i}") for i in range(arity)))
+    return {fact.args for fact in engine.query(goal)}
+
+
+def prove_top_down(query: DatalogQuery, database: Database, tup: Tuple) -> bool:
+    """Whether *tup* answers *query*, established goal-directed."""
+    engine = TopDownEngine(query.program, database)
+    return engine.prove(query.answer_atom(tup))

@@ -1,0 +1,275 @@
+"""Command-line interface.
+
+Seven subcommands expose the library to shell users::
+
+    python -m repro eval     program.dl data.dl --answer tc
+    python -m repro why      program.dl data.dl --answer tc --tuple a,b
+    python -m repro decide   program.dl data.dl --answer tc --tuple a,b \
+                             --subset subset.dl --tree-class unambiguous
+    python -m repro dimacs   program.dl data.dl --answer tc --tuple a,b
+    python -m repro minimal  program.dl data.dl --answer tc --tuple a,b
+    python -m repro semiring program.dl data.dl --answer tc --tuple a,b \
+                             --semiring tropical
+    python -m repro explain  program.dl data.dl --answer tc --tuple a,b
+
+Programs and databases use the textual Datalog syntax of
+:mod:`repro.datalog.parser`; tuples are comma-separated constants (decimal
+literals are read as integers, everything else as strings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from .baselines.souffle_style import explain_answer
+from .core.decision import TREE_CLASSES, decide_membership
+from .core.encoder import encode_why_provenance
+from .core.enumerator import WhyProvenanceEnumerator
+from .core.minimal import minimal_members, smallest_member
+from .datalog.database import Database
+from .datalog.engine import answers
+from .datalog.parser import parse_database, parse_program
+from .datalog.program import DatalogQuery
+from .provenance.grounding import FactNotDerivable
+from .semiring import SEMIRINGS, get_semiring, semiring_provenance
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_query(args: argparse.Namespace) -> Tuple[DatalogQuery, Database]:
+    program = parse_program(_read(args.program))
+    database = Database(parse_database(_read(args.database)))
+    answer = args.answer
+    if answer is None:
+        intensional = sorted(program.idb)
+        if len(intensional) != 1:
+            raise SystemExit(
+                f"--answer required: program has intensional predicates {intensional}"
+            )
+        answer = intensional[0]
+    return DatalogQuery(program, answer), database
+
+
+def parse_tuple(text: str) -> Tuple:
+    """Parse ``a,b,3`` into ``("a", "b", 3)``."""
+    parts = [part.strip() for part in text.split(",")] if text else []
+    values: List = []
+    for part in parts:
+        if part.lstrip("-").isdigit():
+            values.append(int(part))
+        else:
+            values.append(part)
+    return tuple(values)
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    query, database = _load_query(args)
+    result = sorted(answers(query, database))
+    for tup in result:
+        inner = ", ".join(str(t) for t in tup)
+        print(f"{query.answer_predicate}({inner})")
+    print(f"% {len(result)} answers", file=sys.stderr)
+    return 0
+
+
+def _cmd_why(args: argparse.Namespace) -> int:
+    query, database = _load_query(args)
+    tup = parse_tuple(args.tuple)
+    if args.order == "size":
+        from .core.minimal import members_by_size
+
+        count = 0
+        for member, size in members_by_size(query, database, tup, limit=args.limit):
+            facts = " ".join(sorted(f"{fact}." for fact in member))
+            print(f"member {count} (size {size}): {facts}")
+            count += 1
+        if count == 0:
+            print("% tuple is not an answer: empty why-provenance", file=sys.stderr)
+            return 1
+        print(f"% {count} members (smallest first)", file=sys.stderr)
+        return 0
+    try:
+        enumerator = WhyProvenanceEnumerator(query, database, tup)
+    except FactNotDerivable:
+        print("% tuple is not an answer: empty why-provenance", file=sys.stderr)
+        return 1
+    count = 0
+    for record in enumerator.enumerate(limit=args.limit, timeout_seconds=args.timeout):
+        facts = " ".join(sorted(f"{fact}." for fact in record.support))
+        print(f"member {record.index}: {facts}")
+        count += 1
+    print(
+        f"% {count} members "
+        f"(closure {enumerator.closure_seconds:.3f}s, "
+        f"formula {enumerator.formula_seconds:.3f}s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    query, database = _load_query(args)
+    tup = parse_tuple(args.tuple)
+    subset = parse_database(_read(args.subset))
+    verdict = decide_membership(query, database, tup, subset, args.tree_class)
+    print("MEMBER" if verdict else "NOT-MEMBER")
+    return 0 if verdict else 1
+
+
+def _cmd_dimacs(args: argparse.Namespace) -> int:
+    query, database = _load_query(args)
+    tup = parse_tuple(args.tuple)
+    try:
+        encoding = encode_why_provenance(
+            query, database, tup, acyclicity=args.acyclicity
+        )
+    except FactNotDerivable:
+        print("% tuple is not an answer: no formula", file=sys.stderr)
+        return 1
+    sys.stdout.write(encoding.cnf.to_dimacs())
+    projection = " ".join(str(v) for v in encoding.projection_variables())
+    print(f"c projection {projection}", file=sys.stderr)
+    return 0
+
+
+def _format_member(member) -> str:
+    return " ".join(sorted(f"{fact}." for fact in member))
+
+
+def _cmd_minimal(args: argparse.Namespace) -> int:
+    query, database = _load_query(args)
+    tup = parse_tuple(args.tuple)
+    smallest = smallest_member(query, database, tup)
+    if smallest is None:
+        print("% tuple is not an answer: empty why-provenance", file=sys.stderr)
+        return 1
+    print(f"smallest ({len(smallest)} facts): {_format_member(smallest)}")
+    members = minimal_members(query, database, tup, limit=args.limit)
+    for index, member in enumerate(members):
+        print(f"minimal {index}: {_format_member(member)}")
+    print(f"% {len(members)} subset-minimal members", file=sys.stderr)
+    return 0
+
+
+def _cmd_semiring(args: argparse.Namespace) -> int:
+    query, database = _load_query(args)
+    tup = parse_tuple(args.tuple)
+    semiring = get_semiring(args.semiring)
+    value = semiring_provenance(query, database, tup, semiring)
+    if args.semiring in ("why", "min-why"):
+        for index, member in enumerate(
+            sorted(value, key=lambda m: (len(m), sorted(map(str, m))))
+        ):
+            print(f"member {index}: {_format_member(member)}")
+        print(f"% {len(value)} members", file=sys.stderr)
+    elif args.semiring == "lineage":
+        rendered = "0" if value is None else " ".join(sorted(f"{f}." for f in value))
+        print(rendered)
+    else:
+        print(value)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    query, database = _load_query(args)
+    tup = parse_tuple(args.tuple)
+    tree = explain_answer(query, database, tup)
+    if tree is None:
+        print("% tuple is not an answer: nothing to explain", file=sys.stderr)
+        return 1
+    print(tree.pretty())
+    print(
+        f"% depth {tree.depth()}, support size {len(tree.support())}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Why-provenance for Datalog queries via SAT.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, with_tuple: bool = True) -> None:
+        p.add_argument("program", help="Datalog program file")
+        p.add_argument("database", help="database file (facts)")
+        p.add_argument("--answer", help="answer predicate (default: the only idb one)")
+        if with_tuple:
+            p.add_argument("--tuple", required=True, help="answer tuple, e.g. a,b")
+
+    p_eval = sub.add_parser("eval", help="compute Q(D)")
+    common(p_eval, with_tuple=False)
+    p_eval.set_defaults(func=_cmd_eval)
+
+    p_why = sub.add_parser("why", help="enumerate whyUN(t, D, Q)")
+    common(p_why)
+    p_why.add_argument("--limit", type=int, default=None, help="max members")
+    p_why.add_argument("--timeout", type=float, default=None, help="seconds")
+    p_why.add_argument(
+        "--order",
+        choices=["discovery", "size"],
+        default="discovery",
+        help="member order: solver discovery order, or smallest first",
+    )
+    p_why.set_defaults(func=_cmd_why)
+
+    p_decide = sub.add_parser("decide", help="decide membership of a subset")
+    common(p_decide)
+    p_decide.add_argument("--subset", required=True, help="candidate subset file")
+    p_decide.add_argument(
+        "--tree-class",
+        choices=TREE_CLASSES,
+        default="unambiguous",
+        help="proof-tree class (default: unambiguous)",
+    )
+    p_decide.set_defaults(func=_cmd_decide)
+
+    p_dimacs = sub.add_parser("dimacs", help="export phi(t, D, Q) as DIMACS")
+    common(p_dimacs)
+    p_dimacs.add_argument(
+        "--acyclicity",
+        choices=["vertex-elimination", "transitive-closure"],
+        default="vertex-elimination",
+    )
+    p_dimacs.set_defaults(func=_cmd_dimacs)
+
+    p_minimal = sub.add_parser(
+        "minimal", help="smallest and subset-minimal members of whyUN"
+    )
+    common(p_minimal)
+    p_minimal.add_argument("--limit", type=int, default=None, help="max members")
+    p_minimal.set_defaults(func=_cmd_minimal)
+
+    p_semiring = sub.add_parser("semiring", help="semiring provenance of a tuple")
+    common(p_semiring)
+    p_semiring.add_argument(
+        "--semiring",
+        choices=sorted(SEMIRINGS),
+        default="why",
+        help="which semiring to evaluate in (default: why)",
+    )
+    p_semiring.set_defaults(func=_cmd_semiring)
+
+    p_explain = sub.add_parser(
+        "explain", help="print one minimal-depth proof tree (single witness)"
+    )
+    common(p_explain)
+    p_explain.set_defaults(func=_cmd_explain)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Core contribution: SAT-based why-provenance, deciders, FO rewriting."""
+
+from .decision import (
+    TREE_CLASSES,
+    decide_membership,
+    decide_why,
+    decide_why_minimal_depth,
+    decide_why_nonrecursive,
+    decide_why_unambiguous,
+)
+from .encoder import EncodingStats, WhyProvenanceEncoding, encode_why_provenance
+from .enumerator import (
+    EnumerationReport,
+    MemberRecord,
+    WhyProvenanceEnumerator,
+    why_provenance_unambiguous,
+)
+from .minimal import (
+    MinimalityReport,
+    members_by_size,
+    minimal_members,
+    smallest_member,
+)
+from .fo_rewriting import (
+    FORewriting,
+    InducedCQ,
+    RewritingBudgetExceeded,
+    decide_why_via_rewriting,
+    enumerate_symbolic_trees,
+    rewrite,
+)
+
+__all__ = [
+    "EncodingStats",
+    "EnumerationReport",
+    "FORewriting",
+    "InducedCQ",
+    "MemberRecord",
+    "MinimalityReport",
+    "members_by_size",
+    "minimal_members",
+    "smallest_member",
+    "RewritingBudgetExceeded",
+    "TREE_CLASSES",
+    "WhyProvenanceEncoding",
+    "WhyProvenanceEnumerator",
+    "decide_membership",
+    "decide_why",
+    "decide_why_minimal_depth",
+    "decide_why_nonrecursive",
+    "decide_why_unambiguous",
+    "decide_why_via_rewriting",
+    "encode_why_provenance",
+    "enumerate_symbolic_trees",
+    "rewrite",
+    "why_provenance_unambiguous",
+]

@@ -1,0 +1,247 @@
+"""Membership deciders for the problems ``Why-Provenance^X[Q]``.
+
+Given ``Q = (Sigma, R)``, a database ``D`` over ``edb(Sigma)``, a tuple
+``t``, and ``D' subseteq D``, decide whether ``D'`` belongs to the
+why-provenance of ``t`` — for each of the paper's four proof-tree classes:
+
+* ``unambiguous``  (Section 5, Theorem 14)  — SAT: assume the exact leaf
+  set in ``phi_(t, D, Q)`` and ask for satisfiability;
+* ``arbitrary``    (Section 4, Theorem 3)   — the bounded-copies SAT
+  procedure of Proposition 5 (sound for every bound, complete for the
+  polynomial bound of Lemma 8) with the exact fixpoint oracle as the
+  default complete fallback;
+* ``nonrecursive`` (Appendix B, Theorem 19) — for linear programs
+  non-recursive and unambiguous proof trees coincide (Appendix D.1), so the
+  SAT decider applies; otherwise the exact path-aware oracle decides;
+* ``minimal-depth`` (Appendix C, Theorem 27) — depth-bounded search with
+  the budget ``rank(R(t), D)`` computed by the engine (Proposition 28).
+
+A useful observation shared by all deciders: a proof tree w.r.t. ``D``
+whose support is exactly ``D'`` is a proof tree w.r.t. ``D'`` (its leaves
+all lie in ``D'``), so the search can run over the subset database —
+except for the minimal-depth budget, which by Definition 26 refers to the
+*full* database ``D``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database, check_over_schema
+from ..datalog.engine import evaluate
+from ..datalog.program import DatalogQuery
+from ..provenance.enumerate import (
+    enumerate_why,
+    enumerate_why_minimal_depth,
+    enumerate_why_nonrecursive,
+)
+from ..provenance.grounding import FactNotDerivable, downward_closure
+from ..sat.solver import CDCLSolver
+from .encoder import encode_why_provenance
+
+TREE_CLASSES = ("arbitrary", "unambiguous", "nonrecursive", "minimal-depth")
+
+
+def decide_membership(
+    query: DatalogQuery,
+    database: Database,
+    tup: Tuple,
+    subset: Iterable[Atom],
+    tree_class: str = "arbitrary",
+) -> bool:
+    """Uniform front end dispatching on *tree_class*."""
+    if tree_class == "arbitrary":
+        return decide_why(query, database, tup, subset)
+    if tree_class == "unambiguous":
+        return decide_why_unambiguous(query, database, tup, subset)
+    if tree_class == "nonrecursive":
+        return decide_why_nonrecursive(query, database, tup, subset)
+    if tree_class == "minimal-depth":
+        return decide_why_minimal_depth(query, database, tup, subset)
+    raise ValueError(f"unknown tree class {tree_class!r}; expected one of {TREE_CLASSES}")
+
+
+def _validated_subset(database: Database, subset: Iterable[Atom]) -> FrozenSet[Atom]:
+    facts = frozenset(subset)
+    for fact in facts:
+        if fact not in database:
+            raise ValueError(f"{fact} is not a fact of the input database")
+    return facts
+
+
+def decide_why_unambiguous(
+    query: DatalogQuery,
+    database: Database,
+    tup: Tuple,
+    subset: Iterable[Atom],
+    acyclicity: str = "vertex-elimination",
+) -> bool:
+    """``D' in whyUN(t, D, Q)?`` via one SAT call on ``phi_(t, D, Q)``.
+
+    The assumptions pin the ``x`` variable of every database fact of the
+    downward closure: true inside ``D'``, false outside. The formula is
+    then satisfiable iff a compressed DAG with support exactly ``D'``
+    exists (Lemma 44), iff ``D'`` is a member (Proposition 41).
+    """
+    check_over_schema(database, query.program.edb)
+    facts = _validated_subset(database, subset)
+    try:
+        encoding = encode_why_provenance(query, database, tup, acyclicity=acyclicity)
+    except FactNotDerivable:
+        return False
+    assumptions = encoding.membership_assumptions(facts)
+    if assumptions is None:
+        return False
+    solver = CDCLSolver()
+    solver.add_cnf(encoding.cnf)
+    return bool(solver.solve(assumptions=assumptions))
+
+
+def decide_why(
+    query: DatalogQuery,
+    database: Database,
+    tup: Tuple,
+    subset: Iterable[Atom],
+    max_copies: int = 3,
+    use_oracle_fallback: bool = True,
+) -> bool:
+    """``D' in why(t, D, Q)?`` (arbitrary proof trees, Definition 2).
+
+    Strategy:
+
+    1. Restrict to the subset database (leaves of a witnessing tree are
+       exactly ``D'``). If ``R(t)`` is not derivable from ``D'`` alone,
+       membership fails immediately.
+    2. Try the bounded-copies SAT encoding for ``k = 1 .. max_copies``
+       (``k = 1`` is the unambiguous case, a frequent early accept). Any
+       SAT answer proves membership (models unravel to proof trees).
+    3. If still undecided and *use_oracle_fallback*, run the exact
+       fixpoint oracle on the subset database — complete, exponential in
+       the worst case (the problem is NP-hard, Theorem 3).
+
+    With ``use_oracle_fallback=False`` the procedure is sound but may
+    return ``False`` for exotic members that need more than *max_copies*
+    nodes per fact in every witnessing compact proof DAG.
+    """
+    check_over_schema(database, query.program.edb)
+    facts = _validated_subset(database, subset)
+    sub_db = Database(facts)
+    fact = query.answer_atom(tup)
+    try:
+        closure = downward_closure(query.program, sub_db, fact)
+    except FactNotDerivable:
+        return False
+    # Every fact of D' must at least appear in the closure to be a leaf.
+    if not facts <= closure.nodes:
+        return False
+    for copies in range(1, max_copies + 1):
+        encoding = encode_why_provenance(
+            query, sub_db, tup, closure=closure, copies=copies
+        )
+        assumptions = encoding.membership_assumptions(facts)
+        if assumptions is None:
+            return False
+        solver = CDCLSolver()
+        solver.add_cnf(encoding.cnf)
+        if solver.solve(assumptions=assumptions):
+            return True
+    if not use_oracle_fallback:
+        return False
+    family = enumerate_why(query, sub_db, tup)
+    return facts in family
+
+
+def decide_why_nonrecursive(
+    query: DatalogQuery,
+    database: Database,
+    tup: Tuple,
+    subset: Iterable[Atom],
+) -> bool:
+    """``D' in whyNR(t, D, Q)?`` (non-recursive proof trees, Def. 18).
+
+    For linear programs, whyNR and whyUN coincide (Appendix D.1): a
+    non-recursive linear proof tree repeats no intensional fact at all, so
+    it is trivially unambiguous — and unambiguous trees are always
+    non-recursive. The SAT decider therefore answers directly. For
+    non-linear programs the exact path-aware oracle is used.
+    """
+    check_over_schema(database, query.program.edb)
+    facts = _validated_subset(database, subset)
+    if query.is_linear():
+        return decide_why_unambiguous(query, database, tup, facts)
+    sub_db = Database(facts)
+    family = enumerate_why_nonrecursive(query, sub_db, tup)
+    return facts in family
+
+
+def decide_why_minimal_depth(
+    query: DatalogQuery,
+    database: Database,
+    tup: Tuple,
+    subset: Iterable[Atom],
+) -> bool:
+    """``D' in whyMD(t, D, Q)?`` (minimal-depth proof trees, Def. 26).
+
+    The depth budget is ``rank(R(t))`` over the *full* database ``D``
+    (minimality quantifies over all proof trees w.r.t. ``D``; Prop. 28
+    computes the minimum in polynomial time). The witnessing tree itself
+    lives over ``D'``; if even the best tree over ``D'`` is deeper than
+    the global minimum, membership fails.
+    """
+    check_over_schema(database, query.program.edb)
+    facts = _validated_subset(database, subset)
+    fact = query.answer_atom(tup)
+    evaluation = evaluate(query.program, database)
+    if fact not in evaluation.ranks:
+        return False
+    budget = evaluation.ranks[fact]
+    sub_db = Database(facts)
+    sub_eval = evaluate(query.program, sub_db)
+    if fact not in sub_eval.ranks or sub_eval.ranks[fact] > budget:
+        return False
+    family = _bounded_depth_supports(query, sub_db, tup, budget)
+    return facts in family
+
+
+def _bounded_depth_supports(
+    query: DatalogQuery,
+    database: Database,
+    tup: Tuple,
+    budget: int,
+) -> FrozenSet[FrozenSet[Atom]]:
+    """Supports of proof trees with depth <= budget over *database*.
+
+    Depth ``budget`` equals the global minimum here, so "depth <= budget"
+    coincides with "minimal depth" for the root fact (every tree is at
+    least rank-deep, Prop. 28) — but only when ``rank`` w.r.t. this
+    database equals the budget, which the caller has checked.
+    """
+    fact = query.answer_atom(tup)
+    try:
+        closure = downward_closure(query.program, database, fact)
+    except FactNotDerivable:
+        return frozenset()
+    instances_of = closure.instances_by_head
+    cache: Dict[Tuple[Atom, int], FrozenSet[FrozenSet[Atom]]] = {}
+
+    def supports(node: Atom, depth_budget: int) -> FrozenSet[FrozenSet[Atom]]:
+        key = (node, depth_budget)
+        if key in cache:
+            return cache[key]
+        out: Set[FrozenSet[Atom]] = set()
+        if node in database:
+            out.add(frozenset((node,)))
+        if depth_budget >= 1:
+            for instance in instances_of.get(node, ()):
+                families = [supports(t, depth_budget - 1) for t in instance.body]
+                if any(not fam for fam in families):
+                    continue
+                for combo in itertools.product(*families):
+                    out.add(frozenset().union(*combo))
+        result = frozenset(out)
+        cache[key] = result
+        return result
+
+    return supports(fact, budget)

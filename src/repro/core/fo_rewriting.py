@@ -1,0 +1,264 @@
+"""First-order rewriting for non-recursive queries (Theorem 9 / Lemma 12).
+
+For a non-recursive Datalog query ``Q = (Sigma, R)`` the why-provenance
+membership problem is first-order rewritable: membership of ``D'`` reduces
+to evaluating a fixed FO query over ``D'`` alone. The rewriting is built
+from the finite set ``cq(Q)`` of conjunctive queries induced by symbolic
+Q-trees (Definition 10, Lemma 11).
+
+Implementation notes
+--------------------
+* Symbolic Q-trees are enumerated by top-down SLD-style expansion with
+  most-general unification; non-recursiveness bounds the expansion depth,
+  so the enumeration terminates (this is exactly why Lemma 11 holds).
+* The formula ``psi_phi = exists (phi1 & phi2 & phi3)`` demands an
+  *injective* assignment whose witnesses cover ``D'`` exactly; variable
+  identifications are delegated to other members of ``cq(Q)``. We evaluate
+  the whole disjunction at once by matching symbolic trees with arbitrary
+  (possibly non-injective) groundings that cover ``D'`` exactly — every
+  identification of an induced CQ is itself an induced CQ (apply the
+  identifying constant map to all node labels of the Q-tree), so the two
+  formulations coincide.
+* The minimal-depth variant (Theorem 36) adds the conjunct ``phi4``: the
+  matched CQ's depth must not exceed the depth of any CQ merely
+  *satisfiable* in ``D'``. Note that, as in the paper's formula, depth
+  minimality is thereby judged against proof trees over ``D'``; the direct
+  decider (:func:`repro.core.decision.decide_why_minimal_depth`) instead
+  uses the rank over the full ``D``, faithful to Definition 26 — the two
+  agree whenever the minimal depth is already achieved within ``D'``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.program import DatalogQuery
+from ..datalog.rules import Rule
+from ..datalog.terms import Term, Variable, fresh_variable, is_variable
+from ..datalog.unify import match_body
+
+
+class RewritingBudgetExceeded(RuntimeError):
+    """Raised when the symbolic-tree enumeration exceeds its budget."""
+
+
+@dataclass(frozen=True)
+class InducedCQ:
+    """The CQ induced by a symbolic Q-tree (Definition 10).
+
+    ``answer`` holds the root-atom arguments (free variables of the CQ, in
+    canonical-form terminology the ``<c_i>``); ``atoms`` the canonical leaf
+    atoms (a set — ``support(T)`` dedupes); ``depth`` the depth of the
+    inducing tree (used by the minimal-depth rewriting).
+    """
+
+    answer: Tuple[Term, ...]
+    atoms: Tuple[Atom, ...]
+    depth: int
+
+    def variables(self) -> Set[Variable]:
+        out: Set[Variable] = set()
+        for atom in self.atoms:
+            out |= atom.variables()
+        out |= {t for t in self.answer if is_variable(t)}
+        return out
+
+
+def _unify(pattern: Atom, target: Atom, subst: Dict[Variable, Term]) -> Optional[Dict[Variable, Term]]:
+    """MGU of two (function-free) atoms modulo *subst*; None on clash."""
+    if pattern.pred != target.pred or pattern.arity != target.arity:
+        return None
+    out = dict(subst)
+
+    def resolve(term: Term) -> Term:
+        while is_variable(term) and term in out:
+            term = out[term]
+        return term
+
+    for a, b in zip(pattern.args, target.args):
+        a = resolve(a)
+        b = resolve(b)
+        if a == b:
+            continue
+        if is_variable(a):
+            out[a] = b
+        elif is_variable(b):
+            out[b] = a
+        else:
+            return None
+    return out
+
+
+def _apply(atom: Atom, subst: Dict[Variable, Term]) -> Atom:
+    def resolve(term: Term) -> Term:
+        while is_variable(term) and term in subst:
+            term = subst[term]
+        return term
+
+    return Atom(atom.pred, tuple(resolve(t) for t in atom.args))
+
+
+def enumerate_symbolic_trees(
+    query: DatalogQuery,
+    max_trees: int = 100_000,
+) -> List[InducedCQ]:
+    """All symbolic Q-tree shapes as induced CQs (realizes ``cq(Q)``).
+
+    Raises :class:`RewritingBudgetExceeded` when the program has more than
+    *max_trees* expansion shapes, and ``ValueError`` for recursive queries
+    (the set would be infinite, Lemma 11 fails).
+    """
+    if not query.is_non_recursive():
+        raise ValueError("FO rewriting requires a non-recursive query (Theorem 9)")
+    program = query.program
+    root = Atom(
+        query.answer_predicate,
+        tuple(fresh_variable("ans") for _ in range(query.answer_arity)),
+    )
+    results: List[InducedCQ] = []
+
+    # A state is (pending intensional atoms with depths, leaf atoms with
+    # depths, global substitution). Expansion picks the first pending atom
+    # and branches over the applicable rules.
+    def expand(
+        pending: List[Tuple[Atom, int]],
+        leaves: List[Tuple[Atom, int]],
+        subst: Dict[Variable, Term],
+    ) -> None:
+        if len(results) > max_trees:
+            raise RewritingBudgetExceeded(
+                f"more than {max_trees} symbolic Q-trees; raise max_trees"
+            )
+        if not pending:
+            answer = tuple(_apply(root, subst).args)
+            atom_set = tuple(sorted({_apply(a, subst) for a, _ in leaves}, key=str))
+            depth = max((d for _, d in leaves), default=0)
+            results.append(InducedCQ(answer=answer, atoms=atom_set, depth=depth))
+            return
+        (atom, depth), rest = pending[0], pending[1:]
+        current = _apply(atom, subst)
+        for rule in program.rules_for(current.pred):
+            renamed = rule.rename_apart(f"_r{depth}_{id(rule) % 9973}_{len(results)}")
+            unified = _unify(renamed.head, current, subst)
+            if unified is None:
+                continue
+            new_pending = list(rest)
+            new_leaves = list(leaves)
+            for body_atom in renamed.body:
+                if body_atom.pred in program.idb:
+                    new_pending.append((body_atom, depth + 1))
+                else:
+                    new_leaves.append((body_atom, depth + 1))
+            expand(new_pending, new_leaves, unified)
+
+    expand([(root, 0)], [], {})
+    return results
+
+
+class FORewriting:
+    """The compiled FO rewriting ``Q_FO`` of a non-recursive query.
+
+    Build once per query (data-independent, as AC0 membership demands),
+    then evaluate against any candidate explanation ``D'`` and tuple.
+    """
+
+    def __init__(self, query: DatalogQuery, max_trees: int = 100_000):
+        self.query = query
+        self.cqs: List[InducedCQ] = enumerate_symbolic_trees(query, max_trees=max_trees)
+
+    def __len__(self) -> int:
+        return len(self.cqs)
+
+    # -- Lemma 12: D' in why(t, D, Q)  iff  t in Q_FO(D') -------------------
+
+    def check(self, subset: Iterable[Atom], tup: Tuple) -> bool:
+        """Evaluate ``t in Q_FO(D')`` — membership w.r.t. arbitrary trees."""
+        db = Database(subset)
+        target = tuple(tup)
+        return any(self._covering_match(cq, db, target) for cq in self.cqs)
+
+    # -- Theorem 36: the minimal-depth rewriting ------------------------------
+
+    def check_minimal_depth(self, subset: Iterable[Atom], tup: Tuple) -> bool:
+        """Evaluate ``t in Q+_FO(D')`` (exact cover + the phi4 depth guard)."""
+        db = Database(subset)
+        target = tuple(tup)
+        cover_depth: Optional[int] = None
+        for cq in self.cqs:
+            if self._covering_match(cq, db, target):
+                if cover_depth is None or cq.depth < cover_depth:
+                    cover_depth = cq.depth
+        if cover_depth is None:
+            return False
+        any_depth = min(
+            (cq.depth for cq in self.cqs if self._plain_match(cq, db, target)),
+            default=cover_depth,
+        )
+        return cover_depth <= any_depth
+
+    # -- matching ----------------------------------------------------------------
+
+    def _base_substitution(self, cq: InducedCQ, target: Tuple) -> Optional[Dict[Variable, Term]]:
+        if len(cq.answer) != len(target):
+            return None
+        subst: Dict[Variable, Term] = {}
+        for term, value in zip(cq.answer, target):
+            if is_variable(term):
+                if term in subst and subst[term] != value:
+                    return None
+                subst[term] = value
+            elif term != value:
+                return None
+        return subst
+
+    def _covering_match(self, cq: InducedCQ, db: Database, target: Tuple) -> bool:
+        """Is there a grounding of *cq* into *db* whose image is all of db?"""
+        base = self._base_substitution(cq, target)
+        if base is None:
+            return False
+        want = db.facts()
+        if len(cq.atoms) < len(want):
+            return False  # |image| <= |atoms|: cannot cover
+        for subst in match_body(cq.atoms, db, base):
+            image = frozenset(atom.ground(subst) for atom in cq.atoms)
+            if image == want:
+                return True
+        return False
+
+    def _plain_match(self, cq: InducedCQ, db: Database, target: Tuple) -> bool:
+        """Is *cq* merely satisfiable in *db* with the answer bound to t?"""
+        base = self._base_substitution(cq, target)
+        if base is None:
+            return False
+        return next(iter(match_body(cq.atoms, db, base)), None) is not None
+
+
+def rewrite(query: DatalogQuery, max_trees: int = 100_000) -> FORewriting:
+    """Compile the FO rewriting of a non-recursive query."""
+    return FORewriting(query, max_trees=max_trees)
+
+
+def decide_why_via_rewriting(
+    query: DatalogQuery,
+    database: Database,
+    tup: Tuple,
+    subset: Iterable[Atom],
+    rewriting: Optional[FORewriting] = None,
+) -> bool:
+    """Membership for NRDat queries through the FO rewriting (Theorem 9).
+
+    ``database`` is only used to validate ``D' subseteq D`` — the actual
+    evaluation runs on ``D'`` alone, which is the whole point of AC0
+    membership.
+    """
+    facts = frozenset(subset)
+    for fact in facts:
+        if fact not in database:
+            raise ValueError(f"{fact} is not a fact of the input database")
+    if rewriting is None:
+        rewriting = FORewriting(query)
+    return rewriting.check(facts, tuple(tup))

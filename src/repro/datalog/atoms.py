@@ -1,0 +1,121 @@
+"""Relational atoms and facts.
+
+An atom ``R(t1, ..., tn)`` pairs a predicate name with a tuple of terms
+(Section 2 of the paper). A *fact* is an atom mentioning only constants.
+Atoms are immutable, hashable, and cheap to compare, because they are the
+currency of the whole library: databases are sets of facts, proof-tree nodes
+are labeled with facts, SAT variables are keyed by facts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Tuple
+
+from .terms import Term, Variable, constants_of, is_variable, variables_of
+
+
+class Atom:
+    """An atom ``pred(args)`` over a schema.
+
+    Parameters
+    ----------
+    pred:
+        The predicate (relation) name.
+    args:
+        The tuple of terms. Constants are plain hashable values, variables
+        are :class:`~repro.datalog.terms.Variable` instances.
+    """
+
+    __slots__ = ("pred", "args", "_hash")
+
+    def __init__(self, pred: str, args: Iterable[Term] = ()):
+        if not pred:
+            raise ValueError("predicate name must be non-empty")
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "_hash", hash((self.pred, self.args)))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Atom is immutable")
+
+    # -- identity ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self._hash == other._hash
+            and self.pred == other.pred
+            and self.args == other.args
+        )
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Atom({self.pred!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.pred
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.pred}({inner})"
+
+    # -- structure --------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """The number of arguments of the atom."""
+        return len(self.args)
+
+    def is_fact(self) -> bool:
+        """Return ``True`` iff the atom mentions only constants."""
+        return not any(is_variable(t) for t in self.args)
+
+    def variables(self) -> set:
+        """The set of variables occurring in the atom."""
+        return variables_of(self.args)
+
+    def constants(self) -> set:
+        """The set of constants occurring in the atom."""
+        return constants_of(self.args)
+
+    # -- substitution -----------------------------------------------------
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Apply a substitution, replacing mapped variables by their image."""
+        return Atom(
+            self.pred,
+            tuple(mapping.get(t, t) if is_variable(t) else t for t in self.args),
+        )
+
+    def ground(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Apply *mapping* and require the result to be a fact.
+
+        Raises
+        ------
+        ValueError
+            If some variable of the atom is not mapped to a constant.
+        """
+        grounded = self.substitute(mapping)
+        if not grounded.is_fact():
+            raise ValueError(f"grounding of {self} with {mapping} is not a fact")
+        return grounded
+
+
+def make_fact(pred: str, *args: Term) -> Atom:
+    """Convenience constructor for a fact; validates groundness."""
+    atom = Atom(pred, args)
+    if not atom.is_fact():
+        raise ValueError(f"{atom} is not ground")
+    return atom
+
+
+Fact = Atom  # facts are just ground atoms; the alias documents intent
+
+
+def signature(atom: Atom) -> Tuple[str, int]:
+    """Return the ``(predicate, arity)`` signature of an atom."""
+    return (atom.pred, atom.arity)

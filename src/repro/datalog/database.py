@@ -1,0 +1,175 @@
+"""Databases: finite sets of facts with per-position indexes.
+
+A database over a schema ``S`` is a finite set of facts over ``S``
+(Section 2). The class maintains hash indexes on every ``(predicate,
+position, value)`` triple so that the engine can match partially bound atoms
+without scanning whole relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .atoms import Atom
+
+
+class Database:
+    """A mutable set of facts with secondary indexes.
+
+    The database supports the set protocol (``in``, ``len``, iteration) plus
+    predicate-level access used by the evaluation engine.
+    """
+
+    __slots__ = ("_facts", "_by_pred", "_index")
+
+    def __init__(self, facts: Iterable[Atom] = ()):
+        self._facts: Set[Atom] = set()
+        self._by_pred: Dict[str, Set[Atom]] = {}
+        # (pred, position, value) -> set of facts
+        self._index: Dict[Tuple[str, int, object], Set[Atom]] = {}
+        for fact in facts:
+            self.add(fact)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, fact: Atom) -> bool:
+        """Insert *fact*; return ``True`` iff it was not already present."""
+        if not fact.is_fact():
+            raise ValueError(f"{fact} is not ground")
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        self._by_pred.setdefault(fact.pred, set()).add(fact)
+        for pos, value in enumerate(fact.args):
+            self._index.setdefault((fact.pred, pos, value), set()).add(fact)
+        return True
+
+    def update(self, facts: Iterable[Atom]) -> int:
+        """Insert many facts; return how many were new."""
+        added = 0
+        for fact in facts:
+            if self.add(fact):
+                added += 1
+        return added
+
+    def discard(self, fact: Atom) -> bool:
+        """Remove *fact* if present; return ``True`` iff it was present."""
+        if fact not in self._facts:
+            return False
+        self._facts.discard(fact)
+        self._by_pred[fact.pred].discard(fact)
+        for pos, value in enumerate(fact.args):
+            self._index[(fact.pred, pos, value)].discard(fact)
+        return True
+
+    # -- set protocol -------------------------------------------------------
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Database):
+            return self._facts == other._facts
+        if isinstance(other, (set, frozenset)):
+            return self._facts == other
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return f"Database({sorted(map(str, self._facts))})"
+
+    # -- access --------------------------------------------------------------
+
+    def facts(self) -> FrozenSet[Atom]:
+        """An immutable snapshot of all facts."""
+        return frozenset(self._facts)
+
+    def relation(self, pred: str) -> FrozenSet[Atom]:
+        """All facts of predicate *pred* (empty if unknown)."""
+        return frozenset(self._by_pred.get(pred, ()))
+
+    def predicates(self) -> FrozenSet[str]:
+        """All predicates with at least one fact."""
+        return frozenset(p for p, facts in self._by_pred.items() if facts)
+
+    def active_domain(self) -> FrozenSet:
+        """``dom(D)``: the set of constants occurring in the database."""
+        domain = set()
+        for fact in self._facts:
+            domain.update(fact.args)
+        return frozenset(domain)
+
+    def matching(self, pred: str, bindings: Dict[int, object]) -> Iterator[Atom]:
+        """Iterate over facts of *pred* agreeing with *bindings*.
+
+        *bindings* maps argument positions to required constant values. The
+        most selective index entry is used as the scan seed.
+        """
+        relation = self._by_pred.get(pred)
+        if not relation:
+            return iter(())
+        if not bindings:
+            return iter(relation)
+        best: Optional[Set[Atom]] = None
+        for pos, value in bindings.items():
+            candidates = self._index.get((pred, pos, value))
+            if not candidates:
+                return iter(())
+            if best is None or len(candidates) < len(best):
+                best = candidates
+        assert best is not None
+        if len(bindings) == 1:
+            return iter(best)
+        return (
+            fact
+            for fact in best
+            if all(fact.args[pos] == value for pos, value in bindings.items())
+        )
+
+    def count(self, pred: str) -> int:
+        """Number of facts of predicate *pred*."""
+        return len(self._by_pred.get(pred, ()))
+
+    def restrict(self, predicates: Iterable[str]) -> "Database":
+        """A new database containing only the given predicates' facts."""
+        wanted = set(predicates)
+        return Database(f for f in self._facts if f.pred in wanted)
+
+    def copy(self) -> "Database":
+        """A shallow copy (facts are immutable, so this is a full copy)."""
+        return Database(self._facts)
+
+    def subset(self, facts: Iterable[Atom]) -> "Database":
+        """A new database from *facts*, verifying they all belong to self."""
+        sub = Database()
+        for fact in facts:
+            if fact not in self._facts:
+                raise ValueError(f"{fact} is not a fact of the database")
+            sub.add(fact)
+        return sub
+
+
+def check_over_schema(database: Database, predicates: Iterable[str]) -> None:
+    """Raise if *database* mentions predicates outside *predicates*.
+
+    The decision problems of the paper require the input database to be over
+    ``edb(Sigma)``; deciders call this to validate their inputs.
+    """
+    allowed = set(predicates)
+    offenders = sorted(p for p in database.predicates() if p not in allowed)
+    if offenders:
+        raise ValueError(
+            "database mentions predicates outside the expected schema: "
+            + ", ".join(offenders)
+        )

@@ -1,0 +1,152 @@
+"""Loading and saving fact databases in interchange formats.
+
+The paper's experiments read real datasets (Bitcoin transactions,
+Facebook circles, program encodings) that ship as tab- or comma-separated
+relation files, one file per predicate — the convention Soufflé and most
+Datalog engines use (``edge.facts`` holding one tab-separated tuple per
+line).  This module implements that convention so the scenario generators
+and external datasets are interchangeable:
+
+* :func:`load_facts_file` / :func:`save_facts_file` — one relation;
+* :func:`load_facts_dir` / :func:`save_facts_dir` — a directory with one
+  ``<predicate>.facts`` file per relation;
+* :func:`load_csv` — one combined file with the predicate in the first
+  column (the DLV-ish ``pred<TAB>arg1<TAB>arg2`` dump format).
+
+Values consisting only of digits (with an optional leading minus) are
+read back as integers so that round-tripping preserves the term types
+the parser produces.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional
+
+from .atoms import Atom
+from .database import Database
+
+#: Extension used by per-relation files (the Soufflé convention).
+FACTS_SUFFIX = ".facts"
+
+
+def _decode_value(text: str):
+    if text.lstrip("-").isdigit() and text not in ("", "-"):
+        return int(text)
+    return text
+
+
+def _encode_value(value) -> str:
+    text = str(value)
+    if "\t" in text or "\n" in text:
+        raise ValueError(f"value {text!r} contains a tab/newline; not representable")
+    return text
+
+
+def load_facts_file(
+    path: str,
+    predicate: Optional[str] = None,
+    delimiter: str = "\t",
+) -> List[Atom]:
+    """Read one relation from *path* (one delimited tuple per line).
+
+    The predicate defaults to the file's base name without the
+    ``.facts`` extension.  Blank lines and lines starting with ``#`` are
+    skipped.
+    """
+    if predicate is None:
+        base = os.path.basename(path)
+        if base.endswith(FACTS_SUFFIX):
+            base = base[: -len(FACTS_SUFFIX)]
+        predicate = base
+    facts: List[Atom] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            values = tuple(_decode_value(part) for part in line.split(delimiter))
+            facts.append(Atom(predicate, values))
+    return facts
+
+
+def save_facts_file(
+    facts: Iterable[Atom],
+    path: str,
+    delimiter: str = "\t",
+) -> int:
+    """Write one relation to *path*; returns the number of rows written.
+
+    All facts must share one predicate (the file represents one relation).
+    """
+    rows: List[str] = []
+    predicate: Optional[str] = None
+    for fact in sorted(facts, key=repr):
+        if predicate is None:
+            predicate = fact.pred
+        elif fact.pred != predicate:
+            raise ValueError(
+                f"mixed predicates {predicate!r} and {fact.pred!r} in one facts file"
+            )
+        rows.append(delimiter.join(_encode_value(arg) for arg in fact.args))
+    with open(path, "w") as handle:
+        for row in rows:
+            handle.write(row + "\n")
+    return len(rows)
+
+
+def load_facts_dir(directory: str, delimiter: str = "\t") -> Database:
+    """Read every ``*.facts`` file in *directory* into one database."""
+    database = Database()
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(FACTS_SUFFIX):
+            continue
+        for fact in load_facts_file(os.path.join(directory, entry), delimiter=delimiter):
+            database.add(fact)
+    return database
+
+
+def save_facts_dir(
+    database: Database,
+    directory: str,
+    delimiter: str = "\t",
+) -> Dict[str, int]:
+    """Write one ``<predicate>.facts`` file per relation of *database*.
+
+    Returns ``predicate -> row count``. The directory is created if
+    missing; existing files for the database's predicates are replaced,
+    other files are left alone.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: Dict[str, int] = {}
+    for predicate in sorted(database.predicates()):
+        path = os.path.join(directory, predicate + FACTS_SUFFIX)
+        written[predicate] = save_facts_file(
+            database.relation(predicate), path, delimiter=delimiter
+        )
+    return written
+
+
+def load_csv(path: str, delimiter: str = "\t") -> Database:
+    """Read a combined dump with the predicate in the first column."""
+    database = Database()
+    with open(path) as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(delimiter)
+            values = tuple(_decode_value(part) for part in parts[1:])
+            database.add(Atom(parts[0], values))
+    return database
+
+
+def save_csv(database: Database, path: str, delimiter: str = "\t") -> int:
+    """Write the combined single-file dump; returns the row count."""
+    rows = 0
+    with open(path, "w") as handle:
+        for fact in sorted(database, key=repr):
+            fields = [fact.pred] + [_encode_value(arg) for arg in fact.args]
+            handle.write(delimiter.join(fields) + "\n")
+            rows += 1
+    return rows

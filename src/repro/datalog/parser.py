@@ -1,0 +1,188 @@
+"""A small parser for textual Datalog.
+
+Grammar (one statement per line or separated by ``.``)::
+
+    rule    := atom ":-" atom ("," atom)* "."
+    fact    := atom "."
+    atom    := IDENT "(" term ("," term)* ")"
+    term    := VARIABLE | CONSTANT
+    VARIABLE: identifier starting with an uppercase letter or "_"
+    CONSTANT: identifier starting with a lowercase letter or digit,
+              a quoted string '...' or "...", or an integer literal
+
+Comments start with ``%`` or ``#`` and run to end of line. This mirrors the
+usual DLV/clingo conventions so the paper's programs can be written verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Tuple, Union
+
+from .atoms import Atom
+from .program import Program
+from .rules import Rule
+from .terms import Term, Variable
+
+
+class ParseError(ValueError):
+    """Raised on malformed Datalog text, with position information."""
+
+    def __init__(self, message: str, position: int, text: str):
+        line = text.count("\n", 0, position) + 1
+        super().__init__(f"{message} (line {line})")
+        self.position = position
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>[%\#][^\n]*)
+  | (?P<arrow>:-)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<number>-?\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[Tuple[str, str, int]]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos, text)
+        kind = match.lastgroup
+        value = match.group()
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        yield kind, value, match.start()
+    yield "eof", "", len(text)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = list(_tokenize(text))
+        self.index = 0
+
+    def _peek(self) -> Tuple[str, str, int]:
+        return self.tokens[self.index]
+
+    def _next(self) -> Tuple[str, str, int]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str) -> Tuple[str, str, int]:
+        token = self._next()
+        if token[0] != kind:
+            raise ParseError(f"expected {kind}, found {token[1]!r}", token[2], self.text)
+        return token
+
+    def parse_term(self) -> Term:
+        kind, value, pos = self._next()
+        if kind == "number":
+            return int(value)
+        if kind == "string":
+            return value[1:-1]
+        if kind == "ident":
+            if value[0].isupper() or value[0] == "_":
+                return Variable(value)
+            return value
+        raise ParseError(f"expected a term, found {value!r}", pos, self.text)
+
+    def parse_atom(self) -> Atom:
+        kind, value, pos = self._next()
+        if kind != "ident":
+            raise ParseError(f"expected a predicate, found {value!r}", pos, self.text)
+        pred = value
+        if self._peek()[0] != "lpar":
+            return Atom(pred, ())
+        self._expect("lpar")
+        if self._peek()[0] == "rpar":
+            self._next()
+            return Atom(pred, ())
+        args: List[Term] = [self.parse_term()]
+        while self._peek()[0] == "comma":
+            self._next()
+            args.append(self.parse_term())
+        self._expect("rpar")
+        return Atom(pred, tuple(args))
+
+    def parse_statement(self) -> Union[Rule, Atom]:
+        head = self.parse_atom()
+        kind, _, _ = self._peek()
+        if kind == "arrow":
+            self._next()
+            body = [self.parse_atom()]
+            while self._peek()[0] == "comma":
+                self._next()
+                body.append(self.parse_atom())
+            self._expect("dot")
+            return Rule(head, tuple(body))
+        self._expect("dot")
+        if not head.is_fact():
+            raise ParseError(f"fact {head} mentions variables", 0, self.text)
+        return head
+
+    def parse_all(self) -> List[Union[Rule, Atom]]:
+        statements: List[Union[Rule, Atom]] = []
+        while self._peek()[0] != "eof":
+            statements.append(self.parse_statement())
+        return statements
+
+
+def parse_program(text: str) -> Program:
+    """Parse *text* into a :class:`~repro.datalog.program.Program`.
+
+    Facts in the text are rejected — use :func:`parse_database` for data.
+    """
+    statements = _Parser(text).parse_all()
+    rules: List[Rule] = []
+    for statement in statements:
+        if isinstance(statement, Atom):
+            raise ParseError(
+                f"unexpected fact {statement} in program text", 0, text
+            )
+        rules.append(statement)
+    return Program(rules)
+
+
+def parse_database(text: str) -> List[Atom]:
+    """Parse *text* into a list of facts. Rules are rejected."""
+    statements = _Parser(text).parse_all()
+    facts: List[Atom] = []
+    for statement in statements:
+        if isinstance(statement, Rule):
+            raise ParseError(f"unexpected rule {statement} in database text", 0, text)
+        facts.append(statement)
+    return facts
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule."""
+    statements = _Parser(text).parse_all()
+    if len(statements) != 1 or not isinstance(statements[0], Rule):
+        raise ParseError("expected exactly one rule", 0, text)
+    return statements[0]
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, possibly with variables (trailing dot optional)."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    kind, value, pos = parser._peek()
+    if kind == "dot":
+        parser._next()
+        kind, value, pos = parser._peek()
+    if kind != "eof":
+        raise ParseError(f"trailing input {value!r} after atom", pos, text)
+    return atom

@@ -1,0 +1,78 @@
+"""Terms of the Datalog language: variables and constants.
+
+The paper (Section 2) works with two disjoint countably infinite sets ``C``
+of constants and ``V`` of variables. We represent constants as plain hashable
+Python values (strings or integers), and variables as instances of
+:class:`Variable`. Keeping constants unwrapped keeps databases compact and
+makes fact construction from raw data trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Union
+
+
+class Variable:
+    """A Datalog variable, identified by its name.
+
+    Two variables are equal iff their names are equal, so variables can be
+    freely re-created from names. Instances are immutable and hashable.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Variable is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: A term is either a variable or a constant (any hashable non-Variable).
+Term = Union[Variable, Hashable]
+
+_FRESH_COUNTER = 0
+
+
+def fresh_variable(prefix: str = "_V") -> Variable:
+    """Return a globally fresh variable (used by rewritings and reductions)."""
+    global _FRESH_COUNTER
+    _FRESH_COUNTER += 1
+    return Variable(f"{prefix}{_FRESH_COUNTER}")
+
+
+def is_variable(term: Term) -> bool:
+    """Return ``True`` iff *term* is a variable."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return ``True`` iff *term* is a constant (i.e., not a variable)."""
+    return not isinstance(term, Variable)
+
+
+def variables_of(terms) -> set:
+    """Return the set of variables occurring in an iterable of terms."""
+    return {t for t in terms if isinstance(t, Variable)}
+
+
+def constants_of(terms) -> set:
+    """Return the set of constants occurring in an iterable of terms."""
+    return {t for t in terms if not isinstance(t, Variable)}

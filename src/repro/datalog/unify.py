@@ -1,0 +1,191 @@
+"""Matching of rule bodies against databases.
+
+The central primitive of the bottom-up engine: given a rule body (a sequence
+of atoms with variables) and one or more fact stores, enumerate all
+substitutions (functions ``h`` from the body variables to constants) under
+which every body atom becomes a fact of the store. This realizes the
+"function h" of Definitions 1/4 and of the immediate-consequence operator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .atoms import Atom
+from .database import Database
+from .terms import Term, Variable, is_variable
+
+Substitution = Dict[Variable, Term]
+
+
+def match_atom(pattern: Atom, fact: Atom, base: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Try to extend *base* so that ``pattern[subst] == fact``.
+
+    Returns the extended substitution, or ``None`` if matching fails. The
+    input substitution is never mutated.
+    """
+    if pattern.pred != fact.pred or pattern.arity != fact.arity:
+        return None
+    subst: Substitution = dict(base) if base else {}
+    for p, value in zip(pattern.args, fact.args):
+        if is_variable(p):
+            bound = subst.get(p)
+            if bound is None:
+                subst[p] = value
+            elif bound != value:
+                return None
+        elif p != value:
+            return None
+    return subst
+
+
+def _bound_positions(pattern: Atom, subst: Substitution) -> Dict[int, object]:
+    """Positions of *pattern* whose value is fixed by constants or *subst*."""
+    bindings: Dict[int, object] = {}
+    for pos, term in enumerate(pattern.args):
+        if is_variable(term):
+            if term in subst:
+                bindings[pos] = subst[term]
+        else:
+            bindings[pos] = term
+    return bindings
+
+
+def candidate_facts(pattern: Atom, database: Database, subst: Substitution) -> Iterator[Atom]:
+    """Facts of *database* that can possibly match *pattern* under *subst*."""
+    return database.matching(pattern.pred, _bound_positions(pattern, subst))
+
+
+def match_body(
+    body: Sequence[Atom],
+    database: Database,
+    base: Optional[Substitution] = None,
+) -> Iterator[Substitution]:
+    """Enumerate all substitutions making every atom of *body* a fact.
+
+    A left-to-right backtracking join; each atom is matched against the
+    index-filtered candidates of *database*.
+    """
+    order = plan_order(body, base)
+    yield from _match_ordered(order, database, None, -1, dict(base) if base else {})
+
+
+def match_body_with_delta(
+    body: Sequence[Atom],
+    database: Database,
+    delta: Database,
+    delta_index: int,
+    base: Optional[Substitution] = None,
+) -> Iterator[Substitution]:
+    """Semi-naive matching: the atom at *delta_index* must match in *delta*.
+
+    All other atoms are matched against the full *database*. This implements
+    the delta rewriting of semi-naive evaluation: a rule with several
+    intensional body atoms is evaluated once per intensional occurrence, with
+    that occurrence restricted to the facts newly derived in the previous
+    round.
+    """
+    # Put the delta atom first — it is usually the most selective.
+    indices = [delta_index] + [i for i in range(len(body)) if i != delta_index]
+    order = [body[i] for i in indices]
+    yield from _match_ordered(order, database, delta, 0, dict(base) if base else {})
+
+
+def _match_ordered(
+    order: Sequence[Atom],
+    database: Database,
+    delta: Optional[Database],
+    delta_pos: int,
+    subst: Substitution,
+) -> Iterator[Substitution]:
+    if not order:
+        yield dict(subst)
+        return
+    # Iterative backtracking to avoid recursion limits on long bodies.
+    iterators: List[Iterator[Atom]] = []
+    trail: List[List[Variable]] = []
+
+    def make_iter(depth: int) -> Iterator[Atom]:
+        pattern = order[depth]
+        store = delta if (delta is not None and depth == delta_pos) else database
+        return candidate_facts(pattern, store, subst)
+
+    iterators.append(make_iter(0))
+    trail.append([])
+    depth = 0
+    while depth >= 0:
+        pattern = order[depth]
+        advanced = False
+        for fact in iterators[depth]:
+            # Undo bindings from the previous candidate at this depth.
+            for var in trail[depth]:
+                del subst[var]
+            trail[depth] = []
+            extended = _try_bind(pattern, fact, subst, trail[depth])
+            if not extended:
+                continue
+            advanced = True
+            if depth + 1 == len(order):
+                yield dict(subst)
+                # Stay at this depth; undo happens on next iteration.
+                for var in trail[depth]:
+                    del subst[var]
+                trail[depth] = []
+                continue
+            depth += 1
+            iterators.append(make_iter(depth))
+            trail.append([])
+            break
+        if not advanced:
+            for var in trail[depth]:
+                del subst[var]
+            iterators.pop()
+            trail.pop()
+            depth -= 1
+
+
+def _try_bind(pattern: Atom, fact: Atom, subst: Substitution, added: List[Variable]) -> bool:
+    """Bind *pattern* to *fact* in place; record new bindings in *added*."""
+    for p, value in zip(pattern.args, fact.args):
+        if is_variable(p):
+            bound = subst.get(p)
+            if bound is None:
+                subst[p] = value
+                added.append(p)
+            elif bound != value:
+                for var in added:
+                    del subst[var]
+                added.clear()
+                return False
+        elif p != value:
+            for var in added:
+                del subst[var]
+            added.clear()
+            return False
+    return True
+
+
+def plan_order(body: Sequence[Atom], base: Optional[Substitution] = None) -> List[Atom]:
+    """Greedy join ordering: prefer atoms sharing variables with bound ones.
+
+    A simple heuristic that keeps the backtracking join from degenerating
+    into a cross product: repeatedly pick the atom with the most already
+    bound variables (ties broken by fewer unbound variables, then by input
+    order for determinism).
+    """
+    remaining = list(enumerate(body))
+    bound = set(base) if base else set()
+    order: List[Atom] = []
+    while remaining:
+        def score(item: Tuple[int, Atom]) -> Tuple[int, int, int]:
+            idx, atom = item
+            vs = atom.variables()
+            n_bound = len(vs & bound)
+            n_unbound = len(vs - bound)
+            return (-n_bound, n_unbound, idx)
+
+        remaining.sort(key=score)
+        idx, atom = remaining.pop(0)
+        order.append(atom)
+        bound |= atom.variables()
+    return order

@@ -1,0 +1,189 @@
+"""Experiment runner implementing the paper's setup (Section 5.3).
+
+For each scenario and database: compute ``Q(D)``, select five answer
+tuples uniformly at random (seeded), and for each tuple build the downward
+closure, compile the Boolean formula, and enumerate the members of the
+why-provenance (capped by member count and timeout). The records returned
+carry the Figure 1/3 build times and the Figure 2/4 delay distributions.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datalog.database import Database
+from ..datalog.engine import EvaluationResult, evaluate
+from ..datalog.program import DatalogQuery
+from ..core.enumerator import EnumerationReport, WhyProvenanceEnumerator
+from ..scenarios.base import Scenario
+from .stats import BoxStats, box_stats
+
+#: Paper defaults, scaled: 10K members / 5 min in the paper.
+DEFAULT_MEMBER_LIMIT = 500
+DEFAULT_TIMEOUT_SECONDS = 20.0
+DEFAULT_TUPLES_PER_DATABASE = 5
+
+
+@dataclass
+class TupleRun:
+    """All measurements for one (scenario, database, tuple) cell."""
+
+    scenario: str
+    database: str
+    tuple_value: Tuple
+    closure_seconds: float
+    formula_seconds: float
+    members: int
+    delays: List[float]
+    exhausted: bool
+
+    @property
+    def build_seconds(self) -> float:
+        return self.closure_seconds + self.formula_seconds
+
+    def delay_box(self) -> Optional[BoxStats]:
+        if not self.delays:
+            return None
+        return box_stats(self.delays)
+
+
+@dataclass
+class DatabaseRun:
+    """Five tuple runs over one database (one bar group / box of a figure)."""
+
+    scenario: str
+    database: str
+    fact_count: int
+    tuple_runs: List[TupleRun]
+
+    def build_times(self) -> List[float]:
+        return [run.build_seconds for run in self.tuple_runs]
+
+    def pooled_delays(self) -> List[float]:
+        delays: List[float] = []
+        for run in self.tuple_runs:
+            delays.extend(run.delays)
+        return delays
+
+
+def sample_answer_tuples(
+    query: DatalogQuery,
+    database: Database,
+    count: int = DEFAULT_TUPLES_PER_DATABASE,
+    seed: int = 7,
+    evaluation: Optional[EvaluationResult] = None,
+) -> List[Tuple]:
+    """Select *count* answer tuples uniformly at random (with a fixed seed).
+
+    Deterministic: answers are sorted before sampling so the same seed
+    always yields the same tuples regardless of set iteration order.
+    """
+    if evaluation is None:
+        evaluation = evaluate(query.program, database)
+    answers = sorted(
+        fact.args for fact in evaluation.model.relation(query.answer_predicate)
+    )
+    if not answers:
+        return []
+    rng = random.Random(seed)
+    if len(answers) <= count:
+        return list(answers)
+    return rng.sample(answers, count)
+
+
+def run_tuple(
+    query: DatalogQuery,
+    database: Database,
+    tup: Tuple,
+    scenario_name: str = "",
+    database_name: str = "",
+    member_limit: Optional[int] = DEFAULT_MEMBER_LIMIT,
+    timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
+    evaluation: Optional[EvaluationResult] = None,
+    acyclicity: str = "vertex-elimination",
+) -> TupleRun:
+    """The per-tuple experiment: build + enumerate with limits."""
+    enumerator = WhyProvenanceEnumerator(
+        query, database, tup, acyclicity=acyclicity, evaluation=evaluation
+    )
+    report: EnumerationReport = enumerator.run(
+        limit=member_limit, timeout_seconds=timeout_seconds
+    )
+    return TupleRun(
+        scenario=scenario_name,
+        database=database_name,
+        tuple_value=tup,
+        closure_seconds=report.closure_seconds,
+        formula_seconds=report.formula_seconds,
+        members=report.members,
+        delays=report.delays,
+        exhausted=report.exhausted,
+    )
+
+
+def run_database(
+    scenario: Scenario,
+    database_name: str,
+    tuples_per_database: int = DEFAULT_TUPLES_PER_DATABASE,
+    member_limit: Optional[int] = DEFAULT_MEMBER_LIMIT,
+    timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
+    seed: int = 7,
+    acyclicity: str = "vertex-elimination",
+) -> DatabaseRun:
+    """Run the full per-database experiment of Section 5.3."""
+    query = scenario.query()
+    database = scenario.database(database_name)
+    # A scenario database may be shared by several query variants (the
+    # Doctors family); each variant sees its slice over edb(Sigma), as the
+    # decision problems require a database over the extensional schema.
+    database = database.restrict(query.program.edb)
+    evaluation = evaluate(query.program, database)
+    tuples = sample_answer_tuples(
+        query, database, count=tuples_per_database, seed=seed, evaluation=evaluation
+    )
+    runs = [
+        run_tuple(
+            query,
+            database,
+            tup,
+            scenario_name=scenario.name,
+            database_name=database_name,
+            member_limit=member_limit,
+            timeout_seconds=timeout_seconds,
+            evaluation=evaluation,
+            acyclicity=acyclicity,
+        )
+        for tup in tuples
+    ]
+    return DatabaseRun(
+        scenario=scenario.name,
+        database=database_name,
+        fact_count=len(database),
+        tuple_runs=runs,
+    )
+
+
+def run_scenario(
+    scenario: Scenario,
+    tuples_per_database: int = DEFAULT_TUPLES_PER_DATABASE,
+    member_limit: Optional[int] = DEFAULT_MEMBER_LIMIT,
+    timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
+    seed: int = 7,
+    acyclicity: str = "vertex-elimination",
+) -> List[DatabaseRun]:
+    """Run every database of a scenario."""
+    return [
+        run_database(
+            scenario,
+            name,
+            tuples_per_database=tuples_per_database,
+            member_limit=member_limit,
+            timeout_seconds=timeout_seconds,
+            seed=seed,
+            acyclicity=acyclicity,
+        )
+        for name in scenario.database_names()
+    ]

@@ -1,0 +1,61 @@
+"""Summary statistics for the experiment figures (box-plot numbers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """The five numbers of a box plot (Figures 2 and 4)."""
+
+    minimum: float
+    first_quartile: float
+    median: float
+    third_quartile: float
+    maximum: float
+    count: int
+
+    def as_row(self, scale: float = 1.0) -> List[float]:
+        return [
+            self.minimum * scale,
+            self.first_quartile * scale,
+            self.median * scale,
+            self.third_quartile * scale,
+            self.maximum * scale,
+        ]
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data (numpy 'linear')."""
+    if not sorted_values:
+        raise ValueError("quantile of empty data")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Compute min / Q1 / median / Q3 / max of *values*."""
+    if not values:
+        raise ValueError("box_stats of empty data")
+    data = sorted(values)
+    return BoxStats(
+        minimum=data[0],
+        first_quartile=quantile(data, 0.25),
+        median=quantile(data, 0.5),
+        third_quartile=quantile(data, 0.75),
+        maximum=data[-1],
+        count=len(data),
+    )
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty data")
+    return sum(values) / len(values)

@@ -1,0 +1,83 @@
+"""Proof trees, proof DAGs, grounding structures, and oracle enumerators."""
+
+from .enumerate import (
+    EnumerationBudgetExceeded,
+    enumerate_why,
+    enumerate_why_minimal_depth,
+    enumerate_why_nonrecursive,
+    enumerate_why_unambiguous,
+    why_families,
+)
+from .extract import (
+    enumerate_witness_trees,
+    extract_minimal_depth_tree,
+    extract_tree_with_support,
+)
+from .grounding import (
+    DownwardClosure,
+    RuleInstance,
+    FactNotDerivable,
+    HyperEdge,
+    build_rewriting,
+    downward_closure,
+    downward_closure_via_rewriting,
+    min_dag_depth,
+    rule_instance_graph,
+)
+from .proof_dag import (
+    CompressedDAG,
+    InvalidProofDAG,
+    ProofDAG,
+    compressed_dag_from_edges,
+)
+from .render import (
+    circuit_to_dot,
+    closure_to_dot,
+    compressed_dag_to_dot,
+    proof_dag_to_dot,
+    proof_tree_to_dot,
+    support_table,
+)
+from .proof_tree import (
+    InvalidProofTree,
+    ProofTree,
+    ProofTreeNode,
+    is_minimal_depth,
+    min_tree_depth,
+)
+
+__all__ = [
+    "CompressedDAG",
+    "DownwardClosure",
+    "EnumerationBudgetExceeded",
+    "FactNotDerivable",
+    "HyperEdge",
+    "InvalidProofDAG",
+    "InvalidProofTree",
+    "ProofDAG",
+    "ProofTree",
+    "ProofTreeNode",
+    "RuleInstance",
+    "build_rewriting",
+    "compressed_dag_from_edges",
+    "downward_closure",
+    "circuit_to_dot",
+    "closure_to_dot",
+    "compressed_dag_to_dot",
+    "proof_dag_to_dot",
+    "proof_tree_to_dot",
+    "support_table",
+    "downward_closure_via_rewriting",
+    "enumerate_why",
+    "enumerate_witness_trees",
+    "extract_minimal_depth_tree",
+    "extract_tree_with_support",
+    "enumerate_why_minimal_depth",
+    "enumerate_why_nonrecursive",
+    "enumerate_why_unambiguous",
+    "is_minimal_depth",
+    "min_dag_depth",
+    "min_tree_depth",
+    "rule_instance_graph",
+    "why_families",
+]

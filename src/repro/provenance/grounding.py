@@ -1,0 +1,393 @@
+"""The graph of rule instances and the downward closure (Definition 42).
+
+The *graph of rule instances* ``gri(D, Sigma)`` is the hypergraph whose
+nodes are the facts of the least model and whose hyperedges ``(alpha, T)``
+record that ``alpha`` is the head of a ground rule with (deduplicated) body
+``T``. The *downward closure* ``down(D, Sigma, alpha)`` keeps only the part
+reachable from ``alpha``; it "contains" every compressed DAG of ``alpha``
+(Lemma 43) and is the skeleton the SAT encoding searches inside.
+
+Two constructions are provided:
+
+* :func:`downward_closure` — direct: evaluate, enumerate ground instances,
+  restrict to the part reachable from the target fact;
+* :func:`downward_closure_via_rewriting` — the paper's route (App. D.3):
+  build the modified query ``Q-down`` and database ``D-down`` with
+  ``CurNode`` / ``HEdge`` predicates encoding atoms as fixed-width tuples,
+  evaluate it with the ordinary engine, and decode the ``HEdge`` answers.
+  Both constructions are tested to agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.engine import EvaluationResult, evaluate, ground_instances
+from ..datalog.program import DatalogQuery, Program
+from ..datalog.rules import GroundRule, Rule
+from ..datalog.terms import Variable
+
+
+@dataclass(frozen=True)
+class HyperEdge:
+    """A hyperedge ``(head, targets)`` of the graph of rule instances.
+
+    Following Definition 42, the target set deduplicates the rule body.
+    This *set* view is the right granularity for unambiguous proof trees
+    (equal labels have equal subtrees, so multiplicities are irrelevant);
+    code dealing with arbitrary proof trees must use
+    :class:`RuleInstance`, which keeps the body as a multiset.
+    """
+
+    head: Atom
+    targets: FrozenSet[Atom]
+
+    def __iter__(self):
+        yield self.head
+        yield self.targets
+
+    def __str__(self) -> str:
+        inner = ", ".join(sorted(map(str, self.targets)))
+        return f"{self.head} <- {{{inner}}}"
+
+
+@dataclass(frozen=True)
+class RuleInstance:
+    """A ground rule firing with its body kept as an (ordered) multiset.
+
+    Arbitrary proof trees may prove two occurrences of the same body fact
+    by *different* subtrees (see Example 4), so provenance computations
+    over arbitrary / non-recursive / minimal-depth trees must combine one
+    support per body *occurrence*, not per distinct body fact.
+    """
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def multiset_key(self) -> Tuple[Atom, ...]:
+        """The body as a canonically ordered multiset (for deduplication)."""
+        return tuple(sorted(self.body, key=repr))
+
+    def __str__(self) -> str:
+        inner = ", ".join(map(str, self.body))
+        return f"{self.head} :- {inner}."
+
+
+@dataclass
+class DownwardClosure:
+    """``down(D, Sigma, alpha)``: nodes and hyperedges reachable from a fact.
+
+    Attributes
+    ----------
+    root:
+        The fact whose derivations the closure captures.
+    nodes:
+        All facts reachable from the root through hyperedges (the root
+        included); every node is in the least model.
+    hyperedges_by_head:
+        ``fact -> tuple of hyperedges`` with that fact as head.
+    database_nodes:
+        The nodes that are facts of the input database — the candidate
+        members of any support, called ``S`` in the blocking-clause
+        construction of Section 5.2.
+    """
+
+    root: Atom
+    nodes: FrozenSet[Atom]
+    hyperedges_by_head: Dict[Atom, Tuple[HyperEdge, ...]]
+    database_nodes: FrozenSet[Atom]
+    instances_by_head: Dict[Atom, Tuple[RuleInstance, ...]] = field(default_factory=dict)
+
+    def hyperedges(self) -> Iterable[HyperEdge]:
+        """All hyperedges of the closure."""
+        for edges in self.hyperedges_by_head.values():
+            yield from edges
+
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self.hyperedges_by_head.values())
+
+    def intensional_nodes(self) -> Set[Atom]:
+        """Nodes that are heads of at least one hyperedge."""
+        return {head for head, edges in self.hyperedges_by_head.items() if edges}
+
+    def potential_edges(self) -> Set[Tuple[Atom, Atom]]:
+        """All ``(head, target)`` pairs extractable from hyperedges.
+
+        These become the ``z`` edge variables of the SAT encoding.
+        """
+        pairs: Set[Tuple[Atom, Atom]] = set()
+        for edge in self.hyperedges():
+            for target in edge.targets:
+                pairs.add((edge.head, target))
+        return pairs
+
+
+class FactNotDerivable(ValueError):
+    """Raised when the target fact is not in the least model."""
+
+
+def _gri_maps(
+    program: Program,
+    database: Database,
+    evaluation: EvaluationResult,
+) -> Tuple[Dict[Atom, List[HyperEdge]], Dict[Atom, List[RuleInstance]]]:
+    """Both views of ``gri(D, Sigma)``: set hyperedges + multiset instances."""
+    edges: Dict[Atom, List[HyperEdge]] = {}
+    instances: Dict[Atom, List[RuleInstance]] = {}
+    seen_edges: Set[Tuple[Atom, FrozenSet[Atom]]] = set()
+    seen_instances: Set[Tuple[Atom, Tuple[Atom, ...]]] = set()
+    for ground in ground_instances(program, evaluation.model):
+        edge_key = (ground.head, ground.body_set())
+        if edge_key not in seen_edges:
+            seen_edges.add(edge_key)
+            edges.setdefault(ground.head, []).append(
+                HyperEdge(ground.head, ground.body_set())
+            )
+        instance = RuleInstance(ground.head, ground.body)
+        instance_key = (instance.head, instance.multiset_key())
+        if instance_key not in seen_instances:
+            seen_instances.add(instance_key)
+            instances.setdefault(ground.head, []).append(instance)
+    return edges, instances
+
+
+def rule_instance_graph(
+    program: Program,
+    database: Database,
+    evaluation: Optional[EvaluationResult] = None,
+) -> Dict[Atom, List[HyperEdge]]:
+    """The full graph of rule instances ``gri(D, Sigma)`` (Definition 42).
+
+    Returns the hyperedges grouped by head; the node set is the least model
+    (facts of the database have no outgoing hyperedges unless re-derivable,
+    which cannot happen since database predicates are extensional).
+    """
+    if evaluation is None:
+        evaluation = evaluate(program, database)
+    edges, _ = _gri_maps(program, database, evaluation)
+    return edges
+
+
+def downward_closure(
+    program: Program,
+    database: Database,
+    fact: Atom,
+    evaluation: Optional[EvaluationResult] = None,
+) -> DownwardClosure:
+    """Compute ``down(D, Sigma, fact)`` demand-driven.
+
+    Instead of materializing the whole GRI and restricting it (which costs
+    time proportional to the model), rule instances are grounded top-down,
+    only for facts already known to be reachable from the target — the
+    closure is usually a small fragment of the model. Raises
+    :class:`FactNotDerivable` if the fact is not in the least model.
+    """
+    if evaluation is None:
+        evaluation = evaluate(program, database)
+    model = evaluation.model
+    if fact not in model:
+        raise FactNotDerivable(f"{fact} is not derivable; its closure is empty")
+
+    from ..datalog.unify import match_atom, match_body
+
+    edges_by_head: Dict[Atom, List[HyperEdge]] = {}
+    instances_by_head: Dict[Atom, List[RuleInstance]] = {}
+    reachable: Set[Atom] = {fact}
+    frontier: List[Atom] = [fact]
+    while frontier:
+        node = frontier.pop()
+        edges: List[HyperEdge] = []
+        instances: List[RuleInstance] = []
+        seen_edges: Set[FrozenSet[Atom]] = set()
+        seen_instances: Set[Tuple[Atom, ...]] = set()
+        for rule in program.rules_for(node.pred):
+            base = match_atom(rule.head, node)
+            if base is None:
+                continue
+            for subst in match_body(rule.body, model, base):
+                body = tuple(atom.ground(subst) for atom in rule.body)
+                instance = RuleInstance(node, body)
+                instance_key = instance.multiset_key()
+                if instance_key not in seen_instances:
+                    seen_instances.add(instance_key)
+                    instances.append(instance)
+                targets = frozenset(body)
+                if targets not in seen_edges:
+                    seen_edges.add(targets)
+                    edges.append(HyperEdge(node, targets))
+                for target in targets:
+                    if target not in reachable:
+                        reachable.add(target)
+                        frontier.append(target)
+        edges_by_head[node] = edges
+        instances_by_head[node] = instances
+    db_nodes = frozenset(node for node in reachable if node in database)
+    return DownwardClosure(
+        root=fact,
+        nodes=frozenset(reachable),
+        hyperedges_by_head={
+            node: tuple(edges_by_head.get(node, ())) for node in reachable
+        },
+        database_nodes=db_nodes,
+        instances_by_head={
+            node: tuple(instances_by_head.get(node, ())) for node in reachable
+        },
+    )
+
+
+def _restrict_to_reachable(
+    fact: Atom,
+    gri: Dict[Atom, List[HyperEdge]],
+    database: Database,
+    instances: Optional[Dict[Atom, List[RuleInstance]]] = None,
+) -> DownwardClosure:
+    reachable: Set[Atom] = {fact}
+    frontier: List[Atom] = [fact]
+    while frontier:
+        node = frontier.pop()
+        for edge in gri.get(node, ()):
+            for target in edge.targets:
+                if target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+    by_head = {
+        node: tuple(gri.get(node, ()))
+        for node in reachable
+    }
+    db_nodes = frozenset(node for node in reachable if node in database)
+    if instances is None:
+        instance_map: Dict[Atom, Tuple[RuleInstance, ...]] = {}
+    else:
+        instance_map = {
+            node: tuple(instances.get(node, ())) for node in reachable
+        }
+    return DownwardClosure(
+        root=fact,
+        nodes=frozenset(reachable),
+        hyperedges_by_head=by_head,
+        database_nodes=db_nodes,
+        instances_by_head=instance_map,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The paper's rewriting-based construction (Appendix D.3)
+# ---------------------------------------------------------------------------
+
+_PAD = "#pad"          # the paper's star constant for padding
+_CUR_NODE = "CurNode"  # current node predicate
+_H_EDGE = "HEdge"      # hyperedge predicate
+
+
+def _pred_marker(pred: str) -> str:
+    """The constant ``c_P`` identifying predicate *P* in encoded tuples."""
+    return f"#pred:{pred}"
+
+
+def _encode_atom_terms(atom: Atom, width: int) -> Tuple:
+    """``<alpha>``: (c_P, args..., pad...) of fixed length ``width + 1``."""
+    padding = (_PAD,) * (width - atom.arity)
+    return (_pred_marker(atom.pred), *atom.args, *padding)
+
+
+def _decode_atom_terms(terms: Sequence, arities: Dict[str, int]) -> Atom:
+    marker = terms[0]
+    if not (isinstance(marker, str) and marker.startswith("#pred:")):
+        raise ValueError(f"not an encoded atom: {terms!r}")
+    pred = marker[len("#pred:"):]
+    arity = arities[pred]
+    return Atom(pred, tuple(terms[1 : 1 + arity]))
+
+
+def build_rewriting(query: DatalogQuery, fact: Atom) -> Tuple[Program, List[Atom]]:
+    """Build the modified query ``Q-down`` rules and the ``D-down`` extras.
+
+    For each rule ``R0(x0) :- R1(x1), ..., Rn(xn)`` of the program, produce
+
+    * ``HEdge(<R0(x0), R1(x1), ..., Rn(xn)>) :- CurNode(<R0(x0)>), body``
+    * ``CurNode(<Ri(xi)>) :- CurNode(<R0(x0)>), body`` for each i,
+
+    and seed the database with ``CurNode(<fact>)``. Evaluating the rewritten
+    program with the plain engine yields the hyperedges of the downward
+    closure as ``HEdge`` facts.
+    """
+    program = query.program
+    width = program.max_arity()
+    max_body = program.max_body_length()
+    rules: List[Rule] = list(program.rules)
+    for rule in program.rules:
+        head_terms = _encode_atom_terms(rule.head, width)
+        cur_atom = Atom(_CUR_NODE, head_terms)
+        encoded_body: List = []
+        for atom in rule.body:
+            encoded_body.extend(_encode_atom_terms(atom, width))
+        pad_slots = (max_body - len(rule.body)) * (width + 1)
+        hedge_terms = (*head_terms, *encoded_body, *((_PAD,) * pad_slots))
+        rules.append(Rule(Atom(_H_EDGE, hedge_terms), (cur_atom, *rule.body)))
+        for atom in rule.body:
+            rules.append(
+                Rule(
+                    Atom(_CUR_NODE, _encode_atom_terms(atom, width)),
+                    (cur_atom, *rule.body),
+                )
+            )
+    seed = Atom(_CUR_NODE, _encode_atom_terms(fact, width))
+    return Program(rules), [seed]
+
+
+def downward_closure_via_rewriting(
+    query: DatalogQuery,
+    database: Database,
+    fact: Atom,
+) -> DownwardClosure:
+    """Compute the downward closure through the App. D.3 rewriting.
+
+    Slower than :func:`downward_closure` (the encoded tuples are wide), but
+    faithful to the paper's pipeline where a stock Datalog engine computes
+    the closure; used for differential testing.
+    """
+    program = query.program
+    rewritten, extra = build_rewriting(query, fact)
+    extended = database.copy()
+    for atom in extra:
+        extended.add(atom)
+    result = evaluate(rewritten, extended)
+    if fact not in result.model:
+        raise FactNotDerivable(f"{fact} is not derivable; its closure is empty")
+    arities = program.arities()
+    width = program.max_arity()
+    by_head: Dict[Atom, List[HyperEdge]] = {}
+    seen: Set[Tuple[Atom, FrozenSet[Atom]]] = set()
+    for hedge in result.model.relation(_H_EDGE):
+        terms = hedge.args
+        head = _decode_atom_terms(terms[: width + 1], arities)
+        targets: Set[Atom] = set()
+        offset = width + 1
+        while offset < len(terms) and terms[offset] != _PAD:
+            targets.add(_decode_atom_terms(terms[offset : offset + width + 1], arities))
+            offset += width + 1
+        key = (head, frozenset(targets))
+        if key in seen:
+            continue
+        seen.add(key)
+        by_head.setdefault(head, []).append(HyperEdge(head, frozenset(targets)))
+    # Assemble nodes from heads and targets, then re-restrict from the root
+    # (CurNode seeding already restricts, but dedupe keeps this cheap).
+    return _restrict_to_reachable(fact, by_head, database)
+
+
+def min_dag_depth(
+    program: Program,
+    database: Database,
+    fact: Atom,
+    evaluation: Optional[EvaluationResult] = None,
+) -> int:
+    """``min-dag-depth(alpha, D, Sigma)`` via ranks (Proposition 28)."""
+    if evaluation is None:
+        evaluation = evaluate(program, database)
+    if fact not in evaluation.ranks:
+        raise FactNotDerivable(f"{fact} is not derivable from the database")
+    return evaluation.ranks[fact]

@@ -1,0 +1,391 @@
+"""Proof DAGs (Definition 4) and compressed DAGs (Definition 40).
+
+A proof DAG compactly represents a proof tree by sharing subderivations
+(Proposition 5). A *compressed DAG* is the extreme case where every fact
+labels at most one node; compressed DAGs characterize unambiguous proof
+trees (Proposition 41) and are exactly what the SAT encoding's models
+describe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.program import Program
+from ..datalog.rules import GroundRule, check_variable_matching
+from .grounding import HyperEdge
+from .proof_tree import InvalidProofTree, ProofTree, ProofTreeNode
+
+
+class InvalidProofDAG(ValueError):
+    """Raised when a structure violates Definition 4 / Definition 40."""
+
+
+class ProofDAG:
+    """A labeled rooted DAG with explicit node identities (Definition 4).
+
+    Nodes are opaque integers; ``labels[v]`` is the fact of node ``v`` and
+    ``children[v]`` the ordered targets of its outgoing edges (order carries
+    the rule-body positions, which eases validation).
+    """
+
+    def __init__(
+        self,
+        labels: Mapping[int, Atom],
+        children: Mapping[int, Sequence[int]],
+        root: int,
+    ):
+        self.labels: Dict[int, Atom] = dict(labels)
+        self.children: Dict[int, Tuple[int, ...]] = {
+            v: tuple(children.get(v, ())) for v in self.labels
+        }
+        self.root = root
+        if root not in self.labels:
+            raise InvalidProofDAG(f"root node {root} has no label")
+
+    # -- structure ---------------------------------------------------------
+
+    def nodes(self) -> Iterable[int]:
+        return self.labels.keys()
+
+    def node_count(self) -> int:
+        return len(self.labels)
+
+    def leaves(self) -> Iterable[int]:
+        return (v for v in self.labels if not self.children[v])
+
+    def support(self) -> FrozenSet[Atom]:
+        """``support(G)``: facts labeling the leaf nodes."""
+        return frozenset(self.labels[v] for v in self.leaves())
+
+    def parents(self) -> Dict[int, List[int]]:
+        incoming: Dict[int, List[int]] = {v: [] for v in self.labels}
+        for v, targets in self.children.items():
+            for u in targets:
+                incoming[u].append(v)
+        return incoming
+
+    def is_acyclic(self) -> bool:
+        return self._topological_order() is not None
+
+    def _topological_order(self) -> Optional[List[int]]:
+        indegree = {v: 0 for v in self.labels}
+        for targets in self.children.values():
+            for u in targets:
+                indegree[u] += 1
+        frontier = [v for v, d in indegree.items() if d == 0]
+        order: List[int] = []
+        while frontier:
+            v = frontier.pop()
+            order.append(v)
+            for u in self.children[v]:
+                indegree[u] -= 1
+                if indegree[u] == 0:
+                    frontier.append(u)
+        if len(order) != len(self.labels):
+            return None
+        return order
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (requires acyclicity)."""
+        order = self._topological_order()
+        if order is None:
+            raise InvalidProofDAG("depth undefined: the graph has a cycle")
+        longest: Dict[int, int] = {}
+        for v in reversed(order):
+            kids = self.children[v]
+            longest[v] = 0 if not kids else 1 + max(longest[u] for u in kids)
+        return longest[self.root]
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, program: Program, database: Database, expected_root: Optional[Atom] = None) -> None:
+        """Check Definition 4; raise :class:`InvalidProofDAG` on violation."""
+        if expected_root is not None and self.labels[self.root] != expected_root:
+            raise InvalidProofDAG(
+                f"root labeled {self.labels[self.root]}, expected {expected_root}"
+            )
+        if not self.is_acyclic():
+            raise InvalidProofDAG("the graph has a cycle")
+        incoming = self.parents()
+        rootless = [v for v, ps in incoming.items() if not ps]
+        if rootless != [self.root] and set(rootless) != {self.root}:
+            raise InvalidProofDAG(
+                f"expected a unique root {self.root}, nodes without parents: {rootless}"
+            )
+        for v, targets in self.children.items():
+            if not targets:
+                if self.labels[v] not in database:
+                    raise InvalidProofDAG(f"leaf {self.labels[v]} is not a database fact")
+                continue
+            child_facts = tuple(self.labels[u] for u in targets)
+            if not _justified(program, self.labels[v], child_facts):
+                raise InvalidProofDAG(
+                    f"no rule justifies {self.labels[v]} from {child_facts}"
+                )
+
+    def is_valid(self, program: Program, database: Database, expected_root: Optional[Atom] = None) -> bool:
+        try:
+            self.validate(program, database, expected_root)
+        except InvalidProofDAG:
+            return False
+        return True
+
+    def is_non_recursive(self) -> bool:
+        """No path visits two nodes with the same label (Definition 20)."""
+        path_labels: List[Atom] = []
+        seen_on_path: Set[Atom] = set()
+
+        ok = True
+
+        def walk(v: int) -> bool:
+            nonlocal ok
+            label = self.labels[v]
+            if label in seen_on_path:
+                return False
+            seen_on_path.add(label)
+            path_labels.append(label)
+            result = all(walk(u) for u in self.children[v])
+            path_labels.pop()
+            seen_on_path.discard(label)
+            return result
+
+        return walk(self.root)
+
+    def is_unambiguous(self) -> bool:
+        """Equal labels imply isomorphic subDAGs (Definition 38).
+
+        Checked on the unravelled canonical forms, which is exact: subDAGs
+        are isomorphic iff their unravellings are.
+        """
+        forms: Dict[int, Tuple] = {}
+
+        def canonical(v: int) -> Tuple:
+            if v in forms:
+                return forms[v]
+            kids = tuple(sorted((canonical(u) for u in self.children[v]), key=repr))
+            form = (self.labels[v], kids) if kids else (self.labels[v],)
+            forms[v] = form
+            return form
+
+        by_label: Dict[Atom, Set[Tuple]] = {}
+        for v in self.labels:
+            by_label.setdefault(self.labels[v], set()).add(canonical(v))
+        return all(len(s) == 1 for s in by_label.values())
+
+    # -- unravelling ---------------------------------------------------------
+
+    def unravel(self, max_nodes: Optional[int] = None) -> ProofTree:
+        """Unravel into a proof tree with the same support (Prop. 5, (2)=>(1)).
+
+        Each node's subDAG is copied once per incoming edge; acyclicity
+        bounds the construction. The optional *max_nodes* guards against
+        exponentially large unravellings.
+        """
+        if not self.is_acyclic():
+            raise InvalidProofDAG("cannot unravel a cyclic graph")
+        counter = [0]
+
+        def build(v: int) -> ProofTreeNode:
+            counter[0] += 1
+            if max_nodes is not None and counter[0] > max_nodes:
+                raise InvalidProofDAG(
+                    f"unravelling exceeds {max_nodes} nodes"
+                )
+            return ProofTreeNode(
+                self.labels[v],
+                [build(u) for u in self.children[v]],
+            )
+
+        return ProofTree(build(self.root))
+
+    def __repr__(self) -> str:
+        return f"ProofDAG({self.node_count()} nodes, root={self.labels[self.root]})"
+
+
+def _justified(program: Program, head: Atom, child_facts: Tuple[Atom, ...]) -> bool:
+    for rule in program.rules_for(head.pred):
+        if check_variable_matching(rule, head, child_facts):
+            return True
+    return False
+
+
+class CompressedDAG:
+    """A compressed DAG (Definition 40): at most one node per fact.
+
+    Represented as ``choice: fact -> frozenset of child facts`` for the
+    internal nodes; facts not in ``choice`` are leaves. Condition (3) of the
+    definition uses *set* semantics: the children set must equal the
+    deduplicated body of some ground rule instance.
+    """
+
+    def __init__(self, root: Atom, choice: Mapping[Atom, FrozenSet[Atom]]):
+        self.root = root
+        self.choice: Dict[Atom, FrozenSet[Atom]] = {
+            fact: frozenset(targets) for fact, targets in choice.items()
+        }
+
+    # -- structure ----------------------------------------------------------
+
+    def nodes(self) -> Set[Atom]:
+        """All facts reachable from the root (the node set)."""
+        reachable: Set[Atom] = {self.root}
+        frontier = [self.root]
+        while frontier:
+            fact = frontier.pop()
+            for target in self.choice.get(fact, ()):
+                if target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+        return reachable
+
+    def support(self) -> FrozenSet[Atom]:
+        """Leaves: reachable facts without an outgoing hyperedge."""
+        return frozenset(f for f in self.nodes() if f not in self.choice or not self.choice[f])
+
+    def is_acyclic(self) -> bool:
+        color: Dict[Atom, int] = {}
+
+        def visit(fact: Atom) -> bool:
+            state = color.get(fact, 0)
+            if state == 1:
+                return False
+            if state == 2:
+                return True
+            color[fact] = 1
+            for target in self.choice.get(fact, ()):
+                if not visit(target):
+                    return False
+            color[fact] = 2
+            return True
+
+        return visit(self.root)
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, program: Program, database: Database, expected_root: Optional[Atom] = None) -> None:
+        """Check Definition 40 on the reachable part."""
+        if expected_root is not None and self.root != expected_root:
+            raise InvalidProofDAG(f"root is {self.root}, expected {expected_root}")
+        if not self.is_acyclic():
+            raise InvalidProofDAG("the compressed DAG has a cycle")
+        for fact in self.nodes():
+            targets = self.choice.get(fact)
+            if not targets:
+                if fact not in database:
+                    raise InvalidProofDAG(f"leaf {fact} is not a database fact")
+                continue
+            if not _justified_set(program, fact, targets):
+                raise InvalidProofDAG(
+                    f"no ground rule justifies {fact} from the set {set(map(str, targets))}"
+                )
+
+    def is_valid(self, program: Program, database: Database, expected_root: Optional[Atom] = None) -> bool:
+        try:
+            self.validate(program, database, expected_root)
+        except InvalidProofDAG:
+            return False
+        return True
+
+    # -- unravelling -----------------------------------------------------------
+
+    def trigger(self, program: Program, fact: Atom) -> GroundRule:
+        """A ground rule witnessing the hyperedge chosen at *fact*.
+
+        Part of the (2)=>(1) direction of Proposition 41: the unravelling
+        expands every occurrence of *fact* with the same trigger, producing
+        an unambiguous proof tree.
+        """
+        targets = self.choice[fact]
+        instance = _find_ground_rule(program, fact, targets)
+        if instance is None:
+            raise InvalidProofDAG(
+                f"no ground rule justifies {fact} from the set {set(map(str, targets))}"
+            )
+        return instance
+
+    def unravel(self, program: Program, max_nodes: int = 1_000_000) -> ProofTree:
+        """Unravel into an unambiguous proof tree (Proposition 41)."""
+        if not self.is_acyclic():
+            raise InvalidProofDAG("cannot unravel a cyclic compressed DAG")
+        triggers: Dict[Atom, GroundRule] = {}
+        counter = [0]
+
+        def build(fact: Atom) -> ProofTreeNode:
+            counter[0] += 1
+            if counter[0] > max_nodes:
+                raise InvalidProofDAG(f"unravelling exceeds {max_nodes} nodes")
+            if fact not in self.choice or not self.choice[fact]:
+                return ProofTreeNode(fact)
+            instance = triggers.get(fact)
+            if instance is None:
+                instance = self.trigger(program, fact)
+                triggers[fact] = instance
+            children = [build(body_fact) for body_fact in instance.body]
+            return ProofTreeNode(fact, children, ground_rule=instance)
+
+        return ProofTree(build(self.root))
+
+    def to_proof_dag(self, program: Program) -> ProofDAG:
+        """View as a :class:`ProofDAG` with node identities (multiset bodies).
+
+        Body atoms occurring several times in the trigger rule become
+        repeated edges to the same node, matching Definition 4's edge list.
+        """
+        facts = sorted(self.nodes(), key=str)
+        ids = {fact: i for i, fact in enumerate(facts)}
+        labels = {i: fact for fact, i in ids.items()}
+        children: Dict[int, List[int]] = {i: [] for i in labels}
+        for fact in facts:
+            if fact in self.choice and self.choice[fact]:
+                instance = self.trigger(program, fact)
+                children[ids[fact]] = [ids[b] for b in instance.body]
+        return ProofDAG(labels, children, ids[self.root])
+
+    def __repr__(self) -> str:
+        return f"CompressedDAG(root={self.root}, {len(self.choice)} internal facts)"
+
+
+def _justified_set(program: Program, head: Atom, targets: FrozenSet[Atom]) -> bool:
+    return _find_ground_rule(program, head, targets) is not None
+
+
+def _find_ground_rule(
+    program: Program,
+    head: Atom,
+    targets: FrozenSet[Atom],
+) -> Optional[GroundRule]:
+    """Search a ground rule with the given head whose body set is *targets*.
+
+    The body facts all come from *targets*, so matching only explores
+    assignments of target facts to body atoms.
+    """
+    store = Database(targets)
+    from ..datalog.unify import match_atom, match_body
+
+    for rule in program.rules_for(head.pred):
+        base = match_atom(rule.head, head)
+        if base is None:
+            continue
+        for subst in match_body(rule.body, store, base):
+            body = tuple(atom.ground(subst) for atom in rule.body)
+            if frozenset(body) == targets:
+                return GroundRule(rule, head, body)
+    return None
+
+
+def compressed_dag_from_edges(
+    root: Atom,
+    edges: Iterable[HyperEdge],
+) -> CompressedDAG:
+    """Assemble a compressed DAG from chosen hyperedges (one per head)."""
+    choice: Dict[Atom, FrozenSet[Atom]] = {}
+    for edge in edges:
+        if edge.head in choice:
+            raise InvalidProofDAG(
+                f"two hyperedges chosen for {edge.head}: a compressed DAG has one node per fact"
+            )
+        choice[edge.head] = edge.targets
+    return CompressedDAG(root, choice)

@@ -1,0 +1,298 @@
+"""Proof trees (Definition 1) and their refined classes.
+
+A proof tree of a fact ``alpha`` w.r.t. a database ``D`` and a program
+``Sigma`` is a finite labeled rooted tree whose root is labeled ``alpha``,
+whose leaves are labeled with database facts, and whose internal nodes are
+justified by ground rule instances (Definition 1). On top of the plain
+notion the paper studies three refinements:
+
+* **non-recursive** proof trees — no fact labels two nodes on the same
+  root-to-leaf path (Definition 18);
+* **minimal-depth** proof trees — the depth equals the minimum over all
+  proof trees of the fact (Definition 26);
+* **unambiguous** proof trees — any two nodes with the same label have
+  isomorphic subtrees (Definition 13).
+
+The module provides an explicit tree representation with exact validation,
+the tree statistics the upper-bound proofs rely on (depth, subtree count),
+and canonical forms used to decide isomorphism of labeled rooted trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.program import Program
+from ..datalog.rules import GroundRule, Rule, check_variable_matching
+
+
+class ProofTreeNode:
+    """A node of a proof tree: a fact plus an ordered list of children.
+
+    Internal nodes may carry the :class:`GroundRule` that justifies them;
+    validation re-derives the justification when it is absent.
+    """
+
+    __slots__ = ("fact", "children", "ground_rule")
+
+    def __init__(
+        self,
+        fact: Atom,
+        children: Sequence["ProofTreeNode"] = (),
+        ground_rule: Optional[GroundRule] = None,
+    ):
+        self.fact = fact
+        self.children = list(children)
+        self.ground_rule = ground_rule
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:
+        return f"ProofTreeNode({self.fact!r}, {len(self.children)} children)"
+
+
+class ProofTree:
+    """A proof tree with structural queries and validation.
+
+    The class is deliberately *not* self-validating: construction is cheap
+    and :meth:`validate` checks Definition 1 against a program and database
+    explicitly, so tests can also build malformed trees and watch them fail.
+    """
+
+    def __init__(self, root: ProofTreeNode):
+        self.root = root
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def leaf(cls, fact: Atom) -> "ProofTree":
+        return cls(ProofTreeNode(fact))
+
+    @classmethod
+    def derive(
+        cls,
+        ground_rule: GroundRule,
+        subtrees: Sequence["ProofTree"],
+    ) -> "ProofTree":
+        """Build a tree whose root fires *ground_rule* over *subtrees*.
+
+        The i-th subtree must prove the i-th body fact of the ground rule.
+        """
+        if len(subtrees) != len(ground_rule.body):
+            raise ValueError(
+                f"rule body has {len(ground_rule.body)} atoms, got {len(subtrees)} subtrees"
+            )
+        for atom, subtree in zip(ground_rule.body, subtrees):
+            if subtree.root.fact != atom:
+                raise ValueError(
+                    f"subtree proves {subtree.root.fact}, expected {atom}"
+                )
+        node = ProofTreeNode(
+            ground_rule.head,
+            [t.root for t in subtrees],
+            ground_rule=ground_rule,
+        )
+        return cls(node)
+
+    # -- traversal ----------------------------------------------------------
+
+    def nodes(self) -> Iterable[ProofTreeNode]:
+        """All nodes, in preorder."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def leaves(self) -> Iterable[ProofTreeNode]:
+        """All leaf nodes."""
+        return (node for node in self.nodes() if node.is_leaf())
+
+    def facts(self) -> Set[Atom]:
+        """The set of facts labeling the tree."""
+        return {node.fact for node in self.nodes()}
+
+    def support(self) -> frozenset:
+        """``support(T)``: the set of facts labeling the leaves (Section 3)."""
+        return frozenset(node.fact for node in self.leaves())
+
+    def size(self) -> int:
+        """Number of nodes."""
+        return sum(1 for _ in self.nodes())
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (a single node: 0)."""
+        depth = 0
+        stack: List[Tuple[ProofTreeNode, int]] = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            if node.is_leaf():
+                depth = max(depth, d)
+            for child in node.children:
+                stack.append((child, d + 1))
+        return depth
+
+    # -- isomorphism / canonical forms ---------------------------------------
+
+    def canonical(self) -> Tuple:
+        """A canonical form deciding isomorphism of labeled rooted trees.
+
+        Children are treated as an unordered multiset (the paper's
+        isomorphism permutes children), so two trees are isomorphic iff
+        their canonical forms are equal.
+        """
+        return _canonical(self.root)
+
+    def is_isomorphic(self, other: "ProofTree") -> bool:
+        return self.canonical() == other.canonical()
+
+    def scount(self) -> int:
+        """The subtree count (Section 4.1).
+
+        ``scount(T)`` is the maximal number of pairwise non-isomorphic
+        subtrees of ``T`` rooted at nodes carrying the same fact.
+        """
+        variants: Dict[Atom, Set[Tuple]] = {}
+        for node in self.nodes():
+            variants.setdefault(node.fact, set()).add(_canonical(node))
+        return max(len(forms) for forms in variants.values())
+
+    # -- refined classes -------------------------------------------------------
+
+    def is_non_recursive(self) -> bool:
+        """No fact repeats along a root-to-leaf path (Definition 18)."""
+        path: Set[Atom] = set()
+
+        def walk(node: ProofTreeNode) -> bool:
+            if node.fact in path:
+                return False
+            path.add(node.fact)
+            ok = all(walk(child) for child in node.children)
+            path.discard(node.fact)
+            return ok
+
+        return walk(self.root)
+
+    def is_unambiguous(self) -> bool:
+        """Equal labels imply isomorphic subtrees (Definition 13)."""
+        canon: Dict[Atom, Tuple] = {}
+        for node in self.nodes():
+            form = _canonical(node)
+            known = canon.get(node.fact)
+            if known is None:
+                canon[node.fact] = form
+            elif known != form:
+                return False
+        return True
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, program: Program, database: Database, expected_root: Optional[Atom] = None) -> None:
+        """Check Definition 1; raise :class:`InvalidProofTree` on violation."""
+        if expected_root is not None and self.root.fact != expected_root:
+            raise InvalidProofTree(
+                f"root is labeled {self.root.fact}, expected {expected_root}"
+            )
+        for node in self.nodes():
+            if node.is_leaf():
+                if node.fact not in database:
+                    raise InvalidProofTree(
+                        f"leaf {node.fact} is not a database fact"
+                    )
+                continue
+            child_facts = tuple(child.fact for child in node.children)
+            if node.ground_rule is not None:
+                gr = node.ground_rule
+                if gr.head != node.fact or gr.body != child_facts:
+                    raise InvalidProofTree(
+                        f"attached ground rule {gr} does not justify node {node.fact}"
+                    )
+                if not check_variable_matching(gr.rule, node.fact, child_facts):
+                    raise InvalidProofTree(
+                        f"ground rule {gr} is not an instance of {gr.rule}"
+                    )
+                continue
+            if not _some_rule_matches(program, node.fact, child_facts):
+                raise InvalidProofTree(
+                    f"no rule of the program justifies {node.fact} from {child_facts}"
+                )
+
+    def is_valid(self, program: Program, database: Database, expected_root: Optional[Atom] = None) -> bool:
+        """Boolean variant of :meth:`validate`."""
+        try:
+            self.validate(program, database, expected_root)
+        except InvalidProofTree:
+            return False
+        return True
+
+    # -- pretty printing ---------------------------------------------------
+
+    def pretty(self) -> str:
+        """An indented rendering, one node per line."""
+        lines: List[str] = []
+
+        def walk(node: ProofTreeNode, indent: int) -> None:
+            lines.append("  " * indent + str(node.fact))
+            for child in node.children:
+                walk(child, indent + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ProofTree(root={self.root.fact}, size={self.size()})"
+
+
+class InvalidProofTree(ValueError):
+    """Raised when a tree violates Definition 1 (or a refinement)."""
+
+
+def _canonical(node: ProofTreeNode) -> Tuple:
+    """Canonical form: fact plus sorted canonical forms of the children."""
+    if not node.children:
+        return (node.fact,)
+    child_forms = sorted(
+        (_canonical(child) for child in node.children),
+        key=repr,
+    )
+    return (node.fact, tuple(child_forms))
+
+
+def _some_rule_matches(program: Program, head: Atom, body: Tuple[Atom, ...]) -> bool:
+    for rule in program.rules_for(head.pred):
+        if check_variable_matching(rule, head, body):
+            return True
+    return False
+
+
+def is_minimal_depth(
+    tree: ProofTree,
+    program: Program,
+    database: Database,
+) -> bool:
+    """Whether *tree* is a minimal-depth proof tree (Definition 26).
+
+    Minimal tree depth equals minimal proof-DAG depth equals the stage
+    ``rank`` of the immediate-consequence operator (Proposition 28 /
+    Lemma 29), which the engine computes in polynomial time.
+    """
+    from ..datalog.engine import evaluate
+
+    result = evaluate(program, database)
+    root = tree.root.fact
+    if root not in result.ranks:
+        return False
+    return tree.depth() == result.ranks[root]
+
+
+def min_tree_depth(program: Program, database: Database, fact: Atom) -> int:
+    """``min-tree-depth(alpha, D, Sigma)`` via the rank characterization."""
+    from ..datalog.engine import evaluate
+
+    result = evaluate(program, database)
+    if fact not in result.ranks:
+        raise ValueError(f"{fact} is not derivable from the database")
+    return result.ranks[fact]

@@ -1,0 +1,154 @@
+"""Rendering proof objects for human consumption.
+
+The paper's figures draw proof trees and proof DAGs; explanation tooling
+needs the same ability.  This module renders every proof object of the
+library — proof trees, proof DAGs, compressed DAGs, downward closures and
+provenance circuits — in Graphviz DOT (for ``dot -Tsvg``) and, for proof
+trees, as indented ASCII (already available via ``ProofTree.pretty``).
+
+The emitted DOT follows the paper's visual conventions: database facts
+are boxes, intensional facts are ellipses, hyperedges of the downward
+closure appear as small junction points connecting a head to its targets
+(one junction per rule instance), and circuit gates are labelled with
+their operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from .grounding import DownwardClosure
+from .proof_dag import CompressedDAG, ProofDAG
+from .proof_tree import ProofTree, ProofTreeNode
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _fact_attrs(fact: Atom, database: Optional[Database]) -> str:
+    label = _quote(str(fact))
+    if database is not None and fact in database:
+        return f"[label={label}, shape=box]"
+    return f"[label={label}, shape=ellipse]"
+
+
+def proof_tree_to_dot(
+    tree: ProofTree,
+    database: Optional[Database] = None,
+    name: str = "proof_tree",
+) -> str:
+    """Render a proof tree as a DOT digraph (edges parent -> child)."""
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=TB;"]
+    counter = [0]
+
+    def emit(node: ProofTreeNode) -> str:
+        identifier = f"n{counter[0]}"
+        counter[0] += 1
+        lines.append(f"  {identifier} {_fact_attrs(node.fact, database)};")
+        for child in node.children:
+            child_id = emit(child)
+            lines.append(f"  {identifier} -> {child_id};")
+        return identifier
+
+    emit(tree.root)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def proof_dag_to_dot(
+    dag: ProofDAG,
+    database: Optional[Database] = None,
+    name: str = "proof_dag",
+) -> str:
+    """Render a proof DAG as a DOT digraph (node ids preserved)."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for node in dag.nodes():
+        lines.append(f"  n{node} {_fact_attrs(dag.labels[node], database)};")
+    for source in sorted(dag.nodes()):
+        for target in dag.children[source]:
+            lines.append(f"  n{source} -> n{target};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def compressed_dag_to_dot(
+    dag: CompressedDAG,
+    database: Optional[Database] = None,
+    name: str = "compressed_dag",
+) -> str:
+    """Render a compressed DAG; one node per fact (Definition 40)."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    index: Dict[Atom, str] = {}
+    for position, fact in enumerate(sorted(dag.nodes(), key=str)):
+        identifier = f"n{position}"
+        index[fact] = identifier
+        lines.append(f"  {identifier} {_fact_attrs(fact, database)};")
+    for head, targets in sorted(dag.choice.items(), key=lambda kv: str(kv[0])):
+        for target in sorted(targets, key=str):
+            lines.append(f"  {index[head]} -> {index[target]};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def closure_to_dot(
+    closure: DownwardClosure,
+    database: Optional[Database] = None,
+    name: str = "downward_closure",
+) -> str:
+    """Render a downward closure with junction points per hyperedge.
+
+    Every hyperedge ``(head, {targets})`` becomes a small point node with
+    an edge from the head and edges to each target — the standard way to
+    draw a directed hypergraph, making alternative derivations visually
+    distinct.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    index: Dict[Atom, str] = {}
+    for position, fact in enumerate(sorted(closure.nodes, key=str)):
+        identifier = f"n{position}"
+        index[fact] = identifier
+        lines.append(f"  {identifier} {_fact_attrs(fact, database)};")
+    junction = 0
+    for head in sorted(closure.hyperedges_by_head, key=str):
+        for edge in closure.hyperedges_by_head[head]:
+            joint = f"e{junction}"
+            junction += 1
+            lines.append(f"  {joint} [shape=point, width=0.08];")
+            lines.append(f"  {index[edge.head]} -> {joint} [arrowhead=none];")
+            for target in sorted(edge.targets, key=str):
+                lines.append(f"  {joint} -> {index[target]};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def circuit_to_dot(circuit, name: str = "circuit") -> str:
+    """Render a provenance circuit (``repro.semiring.circuits.Circuit``)."""
+    from ..semiring.circuits import INPUT, PLUS
+
+    lines = [f"digraph {name} {{", "  rankdir=BT;"]
+    for position, gate in enumerate(circuit.gates):
+        if gate.kind == INPUT:
+            label = _quote(str(gate.fact))
+            lines.append(f"  g{position} [label={label}, shape=box];")
+        else:
+            symbol = "+" if gate.kind == PLUS else "×"
+            lines.append(f'  g{position} [label="{symbol}", shape=circle];')
+        for child in gate.children:
+            lines.append(f"  g{child} -> g{position};")
+    lines.append(f"  g{circuit.output} [penwidth=2];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def support_table(members: Iterable[frozenset]) -> str:
+    """A plain-text table of why-provenance members, smallest first."""
+    ordered = sorted(members, key=lambda m: (len(m), sorted(map(str, m))))
+    lines = []
+    for position, member in enumerate(ordered):
+        facts = ", ".join(sorted(map(str, member)))
+        lines.append(f"{position:>3}  ({len(member):>2} facts)  {{{facts}}}")
+    return "\n".join(lines)

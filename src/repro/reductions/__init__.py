@@ -1,0 +1,43 @@
+"""Hardness reductions of the paper: workload generators + cross-checks."""
+
+from .hamiltonian import (
+    brute_force_hamiltonian_cycle,
+    hamiltonian_database,
+    hamiltonian_instance,
+    hamiltonian_query,
+    random_digraph,
+)
+from .minimal_depth import (
+    minimal_depth_database,
+    minimal_depth_instance,
+    minimal_depth_query,
+    uniform_proof_depth,
+)
+from .three_sat import (
+    END_MARKER,
+    brute_force_3sat,
+    random_3cnf,
+    three_sat_database,
+    three_sat_instance,
+    three_sat_query,
+    variable_name,
+)
+
+__all__ = [
+    "END_MARKER",
+    "brute_force_3sat",
+    "brute_force_hamiltonian_cycle",
+    "hamiltonian_database",
+    "hamiltonian_instance",
+    "hamiltonian_query",
+    "minimal_depth_database",
+    "minimal_depth_instance",
+    "minimal_depth_query",
+    "random_3cnf",
+    "random_digraph",
+    "three_sat_database",
+    "three_sat_instance",
+    "three_sat_query",
+    "uniform_proof_depth",
+    "variable_name",
+]

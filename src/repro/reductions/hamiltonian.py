@@ -1,0 +1,150 @@
+"""The Hamiltonian-cycle reduction of Theorem 19 (Lemma 24).
+
+NP-hardness of ``Why-Provenance_NR[LDat]`` (and, via the coincidence of
+non-recursive and unambiguous proof trees on linear programs, of
+``Why-Provenance_UN[LDat]``, Theorem 14) is shown by a fixed linear query
+``Q = (Sigma, Path)`` and a mapping of a digraph ``G`` to a database
+``D_G`` with
+
+    ``G`` has a Hamiltonian cycle
+        iff  ``D_G in whyNR((v*), D_G, Q)``  for any node ``v*``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.program import DatalogQuery, Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Variable, fresh_variable
+
+Edge = Tuple[str, str]
+
+
+def _v(name: str) -> Variable:
+    return Variable(name)
+
+
+def hamiltonian_query() -> DatalogQuery:
+    """The fixed linear query of the reduction (Appendix B.1)::
+
+        MarkedE(x) :- First(x).
+        MarkedE(y) :- E(_, _, x, y, _), MarkedE(x).
+        Path(y)    :- E(x, y, _, _, z), MarkedE(z), N(x).
+        Path(y)    :- E(x, y, _, _, _), Path(x), N(x).
+    """
+    x, y, z = _v("x"), _v("y"), _v("z")
+
+    def blank() -> Variable:
+        return fresh_variable("blank")
+
+    rules = [
+        Rule(Atom("MarkedE", (x,)), (Atom("First", (x,)),)),
+        Rule(
+            Atom("MarkedE", (y,)),
+            (Atom("E", (blank(), blank(), x, y, blank())), Atom("MarkedE", (x,))),
+        ),
+        Rule(
+            Atom("Path", (y,)),
+            (Atom("E", (x, y, blank(), blank(), z)), Atom("MarkedE", (z,)), Atom("N", (x,))),
+        ),
+        Rule(
+            Atom("Path", (y,)),
+            (Atom("E", (x, y, blank(), blank(), blank())), Atom("Path", (x,)), Atom("N", (x,))),
+        ),
+    ]
+    return DatalogQuery(Program(rules), "Path")
+
+
+def hamiltonian_database(nodes: Sequence[str], edges: Sequence[Edge]) -> Database:
+    """Construct ``D_G``: the graph plus an ordering of its edges.
+
+    ``E(u, v, i, i + 1, m + 1)`` stores the i-th edge ``(u, v)`` (1-based),
+    ``First(1)`` seeds the edge ordering, ``N(v)`` enumerates the nodes.
+    """
+    node_set = set(nodes)
+    for u, v in edges:
+        if u not in node_set or v not in node_set:
+            raise ValueError(f"edge ({u}, {v}) mentions an unknown node")
+    db = Database()
+    db.add(Atom("First", (1,)))
+    for node in nodes:
+        db.add(Atom("N", (node,)))
+    m = len(edges)
+    for i, (u, v) in enumerate(edges, start=1):
+        db.add(Atom("E", (u, v, i, i + 1, m + 1)))
+    return db
+
+
+def hamiltonian_instance(
+    nodes: Sequence[str],
+    edges: Sequence[Edge],
+    start: Optional[str] = None,
+) -> Tuple[DatalogQuery, Database, Tuple]:
+    """The full reduction output ``(Q, D_G, (v*))``.
+
+    ``G`` has a Hamiltonian cycle iff ``D_G in whyNR((v*), D_G, Q)``; the
+    choice of ``v*`` is immaterial (a cycle visits every node), so the
+    first node is used unless *start* is given.
+    """
+    if not nodes:
+        raise ValueError("the graph must have at least one node")
+    query = hamiltonian_query()
+    db = hamiltonian_database(nodes, edges)
+    target = start if start is not None else nodes[0]
+    return query, db, (target,)
+
+
+def brute_force_hamiltonian_cycle(
+    nodes: Sequence[str],
+    edges: Sequence[Edge],
+) -> Optional[List[str]]:
+    """Exhaustive Hamiltonian-cycle oracle: a cycle as a node list, or None.
+
+    Exponential (permutations); for cross-validation on small graphs.
+    """
+    if not nodes:
+        return None
+    edge_set: Set[Edge] = set(edges)
+    first, rest = nodes[0], list(nodes[1:])
+    if not rest:
+        return [first] if (first, first) in edge_set else None
+    for perm in itertools.permutations(rest):
+        cycle = [first, *perm]
+        ok = all(
+            (cycle[i], cycle[(i + 1) % len(cycle)]) in edge_set
+            for i in range(len(cycle))
+        )
+        if ok:
+            return cycle
+    return None
+
+
+def random_digraph(
+    num_nodes: int,
+    edge_probability: float,
+    seed: int = 0,
+    ensure_cycle: bool = False,
+) -> Tuple[List[str], List[Edge]]:
+    """A seeded random digraph (no self-loops).
+
+    With ``ensure_cycle=True`` a random Hamiltonian cycle is planted, which
+    gives positive instances for the reduction tests.
+    """
+    rng = random.Random(seed)
+    nodes = [f"n{i}" for i in range(num_nodes)]
+    edges: Set[Edge] = set()
+    for u in nodes:
+        for v in nodes:
+            if u != v and rng.random() < edge_probability:
+                edges.add((u, v))
+    if ensure_cycle and num_nodes > 1:
+        order = list(nodes)
+        rng.shuffle(order)
+        for i, u in enumerate(order):
+            edges.add((u, order[(i + 1) % len(order)]))
+    return nodes, sorted(edges)

@@ -1,0 +1,148 @@
+"""The 3SAT reduction for minimal-depth proof trees (Lemma 34).
+
+NP-hardness of ``Why-Provenance_MD[LDat]`` (Theorem 27) adapts the 3SAT
+reduction of Theorem 3 so that *every* proof tree of the goal fact has the
+same depth ``n * (m + 2) + 1`` (Lemma 35) — then minimal-depth membership
+coincides with plain membership and the original argument goes through.
+
+The clause-walk rules force each per-variable segment of a proof tree to
+take exactly ``m`` steps (one per clause), either consuming the clause's
+``C`` fact (rules sigma3/4/5, when the chosen value satisfies the clause)
+or skipping it via a ``NextC`` fact (rules sigma'/sigma'').
+
+Note: the paper's listing of sigma7 writes ``P(y)`` in the body; no
+predicate ``P`` exists anywhere in the construction, so we read it as the
+evident typo for ``R(y)``, mirroring sigma6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.program import DatalogQuery, Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Variable, fresh_variable
+from .three_sat import END_MARKER, Clause3, _validate_clauses, variable_name
+
+
+def _v(name: str) -> Variable:
+    return Variable(name)
+
+
+def minimal_depth_query() -> DatalogQuery:
+    """The fixed linear query of Lemma 34 (depth-uniform 3SAT walk)::
+
+        R(x)             :- Var(x, y, _, z), Assign(x, y, z).
+        R(x)             :- Var(x, _, y, z), Assign(x, y, z).
+        Assign(x, y, z)  :- NextC(x, z, w, k, l),
+                            C(x, y, _, _, _, _, z, w, k, l), Assign(x, y, w).
+        Assign(x, y, z)  :- NextC(x, z, w, k, l),
+                            C(_, _, x, y, _, _, z, w, k, l), Assign(x, y, w).
+        Assign(x, y, z)  :- NextC(x, z, w, k, l),
+                            C(_, _, _, _, x, y, z, w, k, l), Assign(x, y, w).
+        Assign(x, y, z)  :- NextC(x, z, w, y, _), Assign(x, y, w).
+        Assign(x, y, z)  :- NextC(x, z, w, _, y), Assign(x, y, w).
+        Assign(x, z, w)  :- Next(x, y, z, _, w), R(y).
+        Assign(x, z, w)  :- Next(x, y, _, z, w), R(y).
+        R(x)             :- Last(x).
+    """
+    x, y, z, w, k, l = _v("x"), _v("y"), _v("z"), _v("w"), _v("k"), _v("l")
+
+    def blank() -> Variable:
+        return fresh_variable("blank")
+
+    def clause_rule(position: int) -> Rule:
+        # position 0, 1, 2: which literal slot of C carries (x, y).
+        c_args: List = []
+        for slot in range(3):
+            if slot == position:
+                c_args.extend((x, y))
+            else:
+                c_args.extend((blank(), blank()))
+        c_args.extend((z, w, k, l))
+        return Rule(
+            Atom("Assign", (x, y, z)),
+            (
+                Atom("NextC", (x, z, w, k, l)),
+                Atom("C", tuple(c_args)),
+                Atom("Assign", (x, y, w)),
+            ),
+        )
+
+    rules = [
+        Rule(
+            Atom("R", (x,)),
+            (Atom("Var", (x, y, blank(), z)), Atom("Assign", (x, y, z))),
+        ),
+        Rule(
+            Atom("R", (x,)),
+            (Atom("Var", (x, blank(), y, z)), Atom("Assign", (x, y, z))),
+        ),
+        clause_rule(0),
+        clause_rule(1),
+        clause_rule(2),
+        Rule(
+            Atom("Assign", (x, y, z)),
+            (Atom("NextC", (x, z, w, y, blank())), Atom("Assign", (x, y, w))),
+        ),
+        Rule(
+            Atom("Assign", (x, y, z)),
+            (Atom("NextC", (x, z, w, blank(), y)), Atom("Assign", (x, y, w))),
+        ),
+        Rule(
+            Atom("Assign", (x, z, w)),
+            (Atom("Next", (x, y, z, blank(), w)), Atom("R", (y,))),
+        ),
+        Rule(
+            Atom("Assign", (x, z, w)),
+            (Atom("Next", (x, y, blank(), z, w)), Atom("R", (y,))),
+        ),
+        Rule(Atom("R", (x,)), (Atom("Last", (x,)),)),
+    ]
+    return DatalogQuery(Program(rules), "R")
+
+
+def minimal_depth_database(clauses: Sequence[Clause3], num_vars: int) -> Database:
+    """Construct ``D_phi`` of Lemma 34."""
+    _validate_clauses(clauses, num_vars)
+    m = len(clauses)
+    db = Database()
+    for i in range(1, num_vars + 1):
+        db.add(Atom("Var", (variable_name(i), 0, 1, 1)))
+    for i in range(1, num_vars):
+        db.add(Atom("Next", (variable_name(i), variable_name(i + 1), 0, 1, m + 1)))
+    db.add(Atom("Next", (variable_name(num_vars), END_MARKER, 0, 1, m + 1)))
+    db.add(Atom("Last", (END_MARKER,)))
+    for idx, clause in enumerate(clauses, start=1):
+        args: List = []
+        for literal in clause:
+            args.append(variable_name(abs(literal)))
+            args.append(1 if literal > 0 else 0)
+        args.extend((idx, idx + 1, 0, 1))
+        db.add(Atom("C", tuple(args)))
+    for i in range(1, num_vars + 1):
+        for j in range(1, m + 1):
+            db.add(Atom("NextC", (variable_name(i), j, j + 1, 0, 1)))
+    return db
+
+
+def minimal_depth_instance(
+    clauses: Sequence[Clause3],
+    num_vars: int,
+) -> Tuple[DatalogQuery, Database, Tuple]:
+    """The full reduction output ``(Q, D_phi, (v1))``.
+
+    ``phi`` is satisfiable iff ``D_phi in whyMD((v1), D_phi, Q)``; by
+    Lemma 35 all proof trees of ``R(v1)`` have depth ``n*(m+2)+1``, so
+    plain membership coincides with minimal-depth membership here.
+    """
+    query = minimal_depth_query()
+    db = minimal_depth_database(clauses, num_vars)
+    return query, db, (variable_name(1),)
+
+
+def uniform_proof_depth(num_vars: int, num_clauses: int) -> int:
+    """The common depth ``n * (m + 2) + 1`` of Lemma 35."""
+    return num_vars * (num_clauses + 2) + 1

@@ -1,0 +1,163 @@
+"""The 3SAT reduction of Theorem 3 (Lemma 17).
+
+The paper proves NP-hardness of ``Why-Provenance[LDat]`` by exhibiting a
+*fixed* linear Datalog query ``Q`` and a polynomial-time mapping of a 3CNF
+formula ``phi`` to a database ``D_phi`` such that
+
+    ``phi`` is satisfiable  iff  ``D_phi in why((v1), D_phi, Q)``.
+
+This module builds that query and database, provides a brute-force 3SAT
+oracle and a seeded random-instance generator, so the equivalence can be
+validated end-to-end (and doubles as an adversarial workload generator for
+the deciders).
+
+3CNF representation: a clause is a triple of non-zero ints, ``+i`` for
+variable ``i`` and ``-i`` for its negation; variables are ``1..n``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.program import DatalogQuery, Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Variable, fresh_variable
+
+Clause3 = Tuple[int, int, int]
+
+#: The dummy last "variable" of the reduction (the paper's bullet).
+END_MARKER = "#end"
+
+
+def _v(name: str) -> Variable:
+    return Variable(name)
+
+
+def three_sat_query() -> DatalogQuery:
+    """The fixed linear query ``Q = (Sigma, R)`` of the reduction.
+
+    The program (sigma1 .. sigma8 of Appendix A.1)::
+
+        R(x)         :- Var(x, z, _), Assign(x, z).
+        R(x)         :- Var(x, _, z), Assign(x, z).
+        Assign(x, y) :- C(x, y, _, _, _, _), Assign(x, y).
+        Assign(x, y) :- C(_, _, x, y, _, _), Assign(x, y).
+        Assign(x, y) :- C(_, _, _, _, x, y), Assign(x, y).
+        Assign(x, z) :- Next(x, y, z, _), R(y).
+        Assign(x, z) :- Next(x, y, _, z), R(y).
+        R(x)         :- Last(x).
+
+    Fresh anonymous variables stand for the paper's underscores.
+    """
+    x, y, z = _v("x"), _v("y"), _v("z")
+
+    def blank() -> Variable:
+        return fresh_variable("blank")
+
+    rules = [
+        Rule(Atom("R", (x,)), (Atom("Var", (x, z, blank())), Atom("Assign", (x, z)))),
+        Rule(Atom("R", (x,)), (Atom("Var", (x, blank(), z)), Atom("Assign", (x, z)))),
+        Rule(
+            Atom("Assign", (x, y)),
+            (Atom("C", (x, y, blank(), blank(), blank(), blank())), Atom("Assign", (x, y))),
+        ),
+        Rule(
+            Atom("Assign", (x, y)),
+            (Atom("C", (blank(), blank(), x, y, blank(), blank())), Atom("Assign", (x, y))),
+        ),
+        Rule(
+            Atom("Assign", (x, y)),
+            (Atom("C", (blank(), blank(), blank(), blank(), x, y)), Atom("Assign", (x, y))),
+        ),
+        Rule(Atom("Assign", (x, z)), (Atom("Next", (x, y, z, blank())), Atom("R", (y,)))),
+        Rule(Atom("Assign", (x, z)), (Atom("Next", (x, y, blank(), z)), Atom("R", (y,)))),
+        Rule(Atom("R", (x,)), (Atom("Last", (x,)),)),
+    ]
+    return DatalogQuery(Program(rules), "R")
+
+
+def variable_name(i: int) -> str:
+    """The database constant for propositional variable ``i``."""
+    return f"v{i}"
+
+
+def three_sat_database(clauses: Sequence[Clause3], num_vars: int) -> Database:
+    """Construct ``D_phi`` (Lemma 17) for a 3CNF formula."""
+    _validate_clauses(clauses, num_vars)
+    db = Database()
+    for i in range(1, num_vars + 1):
+        db.add(Atom("Var", (variable_name(i), 0, 1)))
+    for i in range(1, num_vars):
+        db.add(Atom("Next", (variable_name(i), variable_name(i + 1), 0, 1)))
+    db.add(Atom("Next", (variable_name(num_vars), END_MARKER, 0, 1)))
+    db.add(Atom("Last", (END_MARKER,)))
+    for clause in clauses:
+        args: List = []
+        for literal in clause:
+            args.append(variable_name(abs(literal)))
+            args.append(1 if literal > 0 else 0)
+        db.add(Atom("C", tuple(args)))
+    return db
+
+
+def three_sat_instance(
+    clauses: Sequence[Clause3],
+    num_vars: int,
+) -> Tuple[DatalogQuery, Database, Tuple]:
+    """The full reduction output ``(Q, D_phi, (v1))``.
+
+    ``phi`` is satisfiable iff ``D_phi in why((v1), D_phi, Q)``.
+    """
+    query = three_sat_query()
+    db = three_sat_database(clauses, num_vars)
+    return query, db, (variable_name(1),)
+
+
+def _validate_clauses(clauses: Sequence[Clause3], num_vars: int) -> None:
+    if num_vars < 1:
+        raise ValueError("the reduction needs at least one variable")
+    for clause in clauses:
+        if len(clause) != 3:
+            raise ValueError(f"clause {clause} does not have exactly 3 literals")
+        for literal in clause:
+            if literal == 0 or abs(literal) > num_vars:
+                raise ValueError(f"literal {literal} out of range for {num_vars} variables")
+
+
+def brute_force_3sat(clauses: Sequence[Clause3], num_vars: int) -> Optional[Dict[int, bool]]:
+    """Exhaustive 3SAT oracle: a satisfying assignment, or ``None``.
+
+    Exponential in *num_vars*; the cross-validation tests use small n.
+    """
+    _validate_clauses(clauses, num_vars)
+    for bits in itertools.product((False, True), repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return assignment
+    return None
+
+
+def random_3cnf(
+    num_vars: int,
+    num_clauses: int,
+    seed: int = 0,
+) -> List[Clause3]:
+    """A random 3CNF with distinct variables per clause (seeded)."""
+    if num_vars < 3:
+        raise ValueError("need at least 3 variables for distinct-variable clauses")
+    rng = random.Random(seed)
+    clauses: List[Clause3] = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clause = tuple(
+            var if rng.random() < 0.5 else -var for var in variables
+        )
+        clauses.append(clause)  # type: ignore[arg-type]
+    return clauses

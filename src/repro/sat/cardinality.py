@@ -1,0 +1,195 @@
+"""Cardinality constraints in CNF.
+
+The paper's machinery enumerates *all* members of the why-provenance; a
+natural extension (used by :mod:`repro.core.minimal`) asks for the
+*smallest* member, which needs "at most k of these literals" as clauses.
+Two standard encodings are provided:
+
+* the **sequential counter** of Sinz (CP 2005): a unary counter chained
+  through the literals, ``O(n * k)`` clauses and auxiliary variables,
+  arc-consistent under unit propagation;
+* the **totalizer** of Bailleux and Boutaouch (CP 2003): a balanced
+  merge tree producing sorted unary outputs, ``O(n^2)`` clauses but
+  reusable for several bounds — tightening ``k`` later only takes one
+  more unit clause.
+
+Both are validated against brute force over all assignments in the test
+suite, and against each other on random instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .cnf import CNF
+
+
+def add_at_most_k(
+    cnf: CNF,
+    literals: Sequence[int],
+    k: int,
+    encoding: str = "sequential",
+) -> None:
+    """Add clauses forcing at most *k* of *literals* to be true."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    literals = list(literals)
+    if k >= len(literals):
+        return
+    if k == 0:
+        for lit in literals:
+            cnf.add_clause([-lit])
+        return
+    if encoding == "sequential":
+        _sequential_at_most(cnf, literals, k)
+    elif encoding == "totalizer":
+        totalizer = Totalizer(cnf, literals)
+        totalizer.enforce_at_most(k)
+    else:
+        raise ValueError(f"unknown cardinality encoding {encoding!r}")
+
+
+def add_at_least_k(
+    cnf: CNF,
+    literals: Sequence[int],
+    k: int,
+    encoding: str = "sequential",
+) -> None:
+    """Add clauses forcing at least *k* of *literals* to be true.
+
+    Encoded as "at most ``n - k`` of the negations", plus the trivial
+    cases (*k <= 0* is vacuous; *k == n* forces every literal; *k > n* is
+    unsatisfiable, expressed as the empty clause).
+    """
+    literals = list(literals)
+    if k <= 0:
+        return
+    if k > len(literals):
+        cnf.add_clause([])
+        return
+    if k == len(literals):
+        for lit in literals:
+            cnf.add_clause([lit])
+        return
+    add_at_most_k(cnf, [-lit for lit in literals], len(literals) - k, encoding)
+
+
+def add_exactly_k(
+    cnf: CNF,
+    literals: Sequence[int],
+    k: int,
+    encoding: str = "sequential",
+) -> None:
+    """Add clauses forcing exactly *k* of *literals* to be true."""
+    add_at_most_k(cnf, literals, k, encoding)
+    add_at_least_k(cnf, literals, k, encoding)
+
+
+def _sequential_at_most(cnf: CNF, literals: List[int], k: int) -> None:
+    """Sinz's sequential counter; assumes ``0 < k < len(literals)``.
+
+    ``registers[i][j]`` reads "at least ``j + 1`` of the first ``i + 1``
+    literals are true"; the final clauses forbid overflowing past *k*.
+    """
+    n = len(literals)
+    registers: List[List[int]] = [[cnf.new_var() for _ in range(k)] for _ in range(n)]
+    # First literal initializes the counter.
+    cnf.add_clause([-literals[0], registers[0][0]])
+    for j in range(1, k):
+        cnf.add_clause([-registers[0][j]])
+    for i in range(1, n):
+        # Carrying the count forward.
+        cnf.add_clause([-literals[i], registers[i][0]])
+        cnf.add_clause([-registers[i - 1][0], registers[i][0]])
+        for j in range(1, k):
+            cnf.add_clause([-literals[i], -registers[i - 1][j - 1], registers[i][j]])
+            cnf.add_clause([-registers[i - 1][j], registers[i][j]])
+        # Overflow: literal i true while the counter already reads k.
+        cnf.add_clause([-literals[i], -registers[i - 1][k - 1]])
+
+
+class Totalizer:
+    """A totalizer over *literals*: sorted unary outputs ``outputs()``.
+
+    ``outputs()[j]`` is a variable that is true whenever at least
+    ``j + 1`` input literals are true.  Call :meth:`enforce_at_most` (any
+    number of times, with decreasing bounds) to constrain the count; the
+    incremental-bound usage pattern is what
+    :func:`repro.core.minimal.smallest_member` exploits.
+    """
+
+    def __init__(self, cnf: CNF, literals: Sequence[int]):
+        self.cnf = cnf
+        self._literals = list(literals)
+        if not self._literals:
+            self._outputs: List[int] = []
+        else:
+            self._outputs = self._build(self._literals)
+
+    def outputs(self) -> List[int]:
+        return list(self._outputs)
+
+    def enforce_at_most(self, k: int) -> None:
+        """Forbid more than *k* true inputs (one unit clause)."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if k >= len(self._outputs):
+            return
+        self.cnf.add_clause([-self._outputs[k]])
+
+    def enforce_at_least(self, k: int) -> None:
+        """Require at least *k* true inputs (one unit clause each)."""
+        if k <= 0:
+            return
+        if k > len(self._outputs):
+            self.cnf.add_clause([])
+            return
+        self.cnf.add_clause([self._outputs[k - 1]])
+
+    def _build(self, literals: List[int]) -> List[int]:
+        if len(literals) == 1:
+            return [literals[0]]
+        mid = len(literals) // 2
+        left = self._build(literals[:mid])
+        right = self._build(literals[mid:])
+        return self._merge(left, right)
+
+    def _merge(self, left: List[int], right: List[int]) -> List[int]:
+        total = len(left) + len(right)
+        outputs = [self.cnf.new_var() for _ in range(total)]
+        # (at least i from left) and (at least j from right) implies
+        # (at least i + j overall); i or j may be zero.
+        for i in range(len(left) + 1):
+            for j in range(len(right) + 1):
+                if i + j == 0:
+                    continue
+                clause = [outputs[i + j - 1]]
+                if i > 0:
+                    clause.append(-left[i - 1])
+                if j > 0:
+                    clause.append(-right[j - 1])
+                self.cnf.add_clause(clause)
+        # The converse: (at most i from left) and (at most j from right)
+        # implies (at most i + j overall) — needed so that asserting an
+        # output variable really forces that many inputs (enforce_at_least).
+        for i in range(len(left) + 1):
+            for j in range(len(right) + 1):
+                if i + j >= total:
+                    continue
+                clause = [-outputs[i + j]]
+                if i < len(left):
+                    clause.append(left[i])
+                if j < len(right):
+                    clause.append(right[j])
+                self.cnf.add_clause(clause)
+        return outputs
+
+
+def count_true(model: Dict[int, bool], literals: Sequence[int]) -> int:
+    """How many of *literals* are satisfied by *model* (testing helper)."""
+    total = 0
+    for lit in literals:
+        value = model.get(abs(lit), False)
+        if (lit > 0) == value:
+            total += 1
+    return total

@@ -1,0 +1,177 @@
+"""CNF formulas, variable pools, and DIMACS I/O.
+
+Literals follow the DIMACS convention: variables are positive integers and a
+negative literal is the negated variable. :class:`VariablePool` maps
+arbitrary hashable keys (facts, hyperedges, edge pairs ...) to variables so
+that encoders never juggle raw integers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class CNF:
+    """A CNF formula: a clause list over ``num_vars`` variables."""
+
+    def __init__(self, num_vars: int = 0):
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Append a clause; literals must reference allocated variables."""
+        clause = tuple(literals)
+        if not clause:
+            # The empty clause is representable: the formula is unsatisfiable.
+            self.clauses.append(clause)
+            return
+        for lit in clause:
+            var = abs(lit)
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            if var > self.num_vars:
+                raise ValueError(f"literal {lit} references unallocated variable {var}")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def implies(self, antecedent: int, consequent: int) -> None:
+        """Add ``antecedent -> consequent``."""
+        self.add_clause((-antecedent, consequent))
+
+    def at_least_one(self, literals: Sequence[int]) -> None:
+        self.add_clause(literals)
+
+    def at_most_one(self, literals: Sequence[int]) -> None:
+        """Pairwise at-most-one encoding (fine for the small groups we use)."""
+        for i, a in enumerate(literals):
+            for b in literals[i + 1 :]:
+                self.add_clause((-a, -b))
+
+    def exactly_one(self, literals: Sequence[int]) -> None:
+        self.at_least_one(literals)
+        self.at_most_one(literals)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self.clauses)
+
+    def copy(self) -> "CNF":
+        dup = CNF(self.num_vars)
+        dup.clauses = list(self.clauses)
+        return dup
+
+    def stats(self) -> Dict[str, int]:
+        """Variable / clause / literal counts, for the experiment tables."""
+        return {
+            "variables": self.num_vars,
+            "clauses": len(self.clauses),
+            "literals": sum(len(c) for c in self.clauses),
+        }
+
+    # -- evaluation (used by tests and the brute-force checker) -------------
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """Whether *assignment* (total on used variables) satisfies the CNF."""
+        for clause in self.clauses:
+            if not any(
+                assignment.get(abs(lit), False) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    # -- DIMACS ---------------------------------------------------------------
+
+    def to_dimacs(self) -> str:
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        num_vars = 0
+        clauses: List[Tuple[int, ...]] = []
+        declared: Optional[Tuple[int, int]] = None
+        current: List[int] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"malformed problem line: {line!r}")
+                declared = (int(parts[2]), int(parts[3]))
+                num_vars = declared[0]
+                continue
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    clauses.append(tuple(current))
+                    current = []
+                else:
+                    num_vars = max(num_vars, abs(lit))
+                    current.append(lit)
+        if current:
+            raise ValueError("last clause not terminated by 0")
+        cnf = cls(num_vars)
+        for clause in clauses:
+            cnf.add_clause(clause)
+        if declared is not None and declared[1] != len(clauses):
+            # Tolerate wrong counts (common in the wild) but keep parsing strict.
+            pass
+        return cnf
+
+
+class VariablePool:
+    """Bidirectional mapping between hashable keys and CNF variables."""
+
+    def __init__(self, cnf: CNF):
+        self._cnf = cnf
+        self._by_key: Dict[Hashable, int] = {}
+        self._by_var: Dict[int, Hashable] = {}
+
+    def var(self, key: Hashable) -> int:
+        """The variable for *key*, allocating it on first use."""
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        var = self._cnf.new_var()
+        self._by_key[key] = var
+        self._by_var[var] = key
+        return var
+
+    def get(self, key: Hashable) -> Optional[int]:
+        """The variable for *key* if already allocated, else ``None``."""
+        return self._by_key.get(key)
+
+    def key(self, var: int) -> Hashable:
+        """The key of *var*; raises ``KeyError`` for anonymous variables."""
+        return self._by_var[var]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._by_key
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def items(self) -> Iterator[Tuple[Hashable, int]]:
+        return iter(self._by_key.items())
+
+    def keys_with_prefix(self, prefix: Hashable) -> Iterator[Tuple[Hashable, int]]:
+        """Items whose key is a tuple starting with *prefix* (encoder aid)."""
+        for key, var in self._by_key.items():
+            if isinstance(key, tuple) and key and key[0] == prefix:
+                yield key, var

@@ -1,0 +1,145 @@
+"""A plain DPLL solver — the ablation baseline for the CDCL solver.
+
+No clause learning, no restarts, no activities: unit propagation, pure
+literal elimination, and chronological backtracking on the first unassigned
+variable. Exists to (a) differential-test the CDCL solver on random
+formulas and (b) quantify, in the solver-ablation benchmark, how much the
+Glucose-style machinery matters on the provenance formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .cnf import CNF
+
+
+class DPLLBudgetExceeded(RuntimeError):
+    """Raised when the node budget is exhausted."""
+
+
+def solve_dpll(
+    cnf: CNF,
+    assumptions: Sequence[int] = (),
+    max_nodes: Optional[int] = None,
+) -> Optional[Dict[int, bool]]:
+    """Solve *cnf* with DPLL; return a model dict or ``None`` if UNSAT.
+
+    Raises :class:`DPLLBudgetExceeded` if more than *max_nodes* search nodes
+    are visited.
+    """
+    clauses = [list(c) for c in cnf.clauses]
+    assignment: Dict[int, bool] = {}
+    for lit in assumptions:
+        value = lit > 0
+        var = abs(lit)
+        if assignment.get(var, value) != value:
+            return None
+        assignment[var] = value
+    nodes = [0]
+
+    result = _search(clauses, assignment, cnf.num_vars, nodes, max_nodes)
+    if result is None:
+        return None
+    # Complete the assignment for reporting purposes.
+    for var in range(1, cnf.num_vars + 1):
+        result.setdefault(var, False)
+    return result
+
+
+def _simplify(
+    clauses: List[List[int]],
+    assignment: Dict[int, bool],
+) -> Optional[List[List[int]]]:
+    """Apply the current assignment; ``None`` signals a falsified clause."""
+    out: List[List[int]] = []
+    for clause in clauses:
+        satisfied = False
+        remaining: List[int] = []
+        for lit in clause:
+            value = assignment.get(abs(lit))
+            if value is None:
+                remaining.append(lit)
+            elif value == (lit > 0):
+                satisfied = True
+                break
+        if satisfied:
+            continue
+        if not remaining:
+            return None
+        out.append(remaining)
+    return out
+
+
+def _search(
+    clauses: List[List[int]],
+    assignment: Dict[int, bool],
+    num_vars: int,
+    nodes: List[int],
+    max_nodes: Optional[int],
+) -> Optional[Dict[int, bool]]:
+    nodes[0] += 1
+    if max_nodes is not None and nodes[0] > max_nodes:
+        raise DPLLBudgetExceeded(f"more than {max_nodes} DPLL nodes")
+    simplified = _simplify(clauses, assignment)
+    if simplified is None:
+        return None
+    # Unit propagation to fixpoint.
+    while True:
+        unit = next((c[0] for c in simplified if len(c) == 1), None)
+        if unit is None:
+            break
+        assignment[abs(unit)] = unit > 0
+        simplified = _simplify(simplified, assignment)
+        if simplified is None:
+            return None
+    if not simplified:
+        return dict(assignment)
+    # Pure literal elimination.
+    polarity: Dict[int, Set[bool]] = {}
+    for clause in simplified:
+        for lit in clause:
+            polarity.setdefault(abs(lit), set()).add(lit > 0)
+    pures = [var for var, signs in polarity.items() if len(signs) == 1]
+    if pures:
+        for var in pures:
+            assignment[var] = next(iter(polarity[var]))
+        return _search(simplified, assignment, num_vars, nodes, max_nodes)
+    # Branch on the first variable of the first (shortest) clause.
+    branch_clause = min(simplified, key=len)
+    branch_var = abs(branch_clause[0])
+    for value in (branch_clause[0] > 0, branch_clause[0] < 0):
+        trial = dict(assignment)
+        trial[branch_var] = value
+        result = _search(simplified, trial, num_vars, nodes, max_nodes)
+        if result is not None:
+            return result
+    return None
+
+
+def enumerate_models_dpll(
+    cnf: CNF,
+    variables: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+):
+    """Enumerate all assignments (projected onto *variables*) satisfying *cnf*.
+
+    Brute-force enumeration by blocking the projection of each model; an
+    oracle for the CDCL-based enumerator in tests.
+    """
+    working = cnf.copy()
+    projection = list(variables) if variables is not None else list(range(1, cnf.num_vars + 1))
+    count = 0
+    while True:
+        if limit is not None and count >= limit:
+            return
+        model = solve_dpll(working)
+        if model is None:
+            return
+        projected = {var: model[var] for var in projection}
+        yield projected
+        count += 1
+        blocking = [(-var if model[var] else var) for var in projection]
+        if not blocking:
+            return
+        working.add_clause(blocking)

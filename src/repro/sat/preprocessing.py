@@ -1,0 +1,266 @@
+"""CNF preprocessing (inprocessing-lite) for the provenance formulas.
+
+The formulas ``phi_(t, D, Q)`` that the encoder emits contain a lot of
+easy structure: unit clauses from ``phi_root``, chains of binary
+implications from ``phi_graph``, and many subsumed clauses from the
+acyclicity layer.  A light preprocessing pass shrinks them considerably
+before the CDCL solver starts, the same role SatELite-style
+simplification plays in front of Glucose.
+
+Techniques, in the order applied:
+
+1. **tautology removal** — drop clauses containing ``l`` and ``not l``;
+2. **unit propagation** to fixpoint — forced literals are collected into
+   the result and removed from every clause;
+3. **subsumption** — drop clauses that are supersets of another clause;
+4. **self-subsuming resolution** — strengthen ``C or l`` to ``C`` when
+   some other clause subsumes ``C or not l``;
+5. **pure-literal elimination** (optional) — assign literals occurring
+   in one polarity only.
+
+Steps 1-4 preserve logical equivalence, so the simplified formula has
+exactly the same models over the remaining free variables — safe for the
+model *enumeration* at the heart of Section 5.2 (forced literals take
+their recorded value in every model).  Pure-literal elimination only
+preserves satisfiability and is therefore opt-in, for decision-problem
+use (:func:`repro.core.decision.decide_why_unambiguous`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .cnf import CNF
+
+
+class PreprocessingConflict(Exception):
+    """The formula was proved unsatisfiable during preprocessing."""
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of :func:`preprocess`.
+
+    Attributes
+    ----------
+    cnf:
+        The simplified formula (same variable numbering as the input).
+    forced:
+        ``var -> bool`` assignments implied by the input formula; every
+        model of the input extends every model of ``cnf`` with these.
+    unsat:
+        True when preprocessing derived the empty clause; ``cnf`` then
+        contains a single empty clause and ``forced`` is meaningless.
+    stats:
+        Counters per technique, for the ablation benchmark.
+    """
+
+    cnf: CNF
+    forced: Dict[int, bool] = field(default_factory=dict)
+    unsat: bool = False
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def extend_model(self, model: Dict[int, bool]) -> Dict[int, bool]:
+        """Add the forced literals back into a model of the reduced CNF."""
+        extended = dict(model)
+        extended.update(self.forced)
+        return extended
+
+
+def preprocess(
+    cnf: CNF,
+    pure_literals: bool = False,
+    max_rounds: int = 10,
+    occurrence_cap: int = 40,
+) -> PreprocessResult:
+    """Simplify *cnf*; see the module docstring for the technique list.
+
+    The techniques are iterated (strengthening can enable new units, new
+    units enable new subsumption, ...) until a round changes nothing or
+    *max_rounds* is reached.
+
+    *occurrence_cap* bounds the candidate lists the (self-)subsumption
+    passes scan per literal, the standard trick keeping preprocessing
+    near-linear on large formulas: literals occurring more often than
+    the cap are simply not used as subsumption pivots.  Correctness is
+    unaffected (fewer clauses get simplified, none get miss-simplified).
+    """
+    clauses: Set[FrozenSet[int]] = set()
+    stats = {
+        "tautologies": 0,
+        "units_propagated": 0,
+        "subsumed": 0,
+        "strengthened": 0,
+        "pure_literals": 0,
+        "rounds": 0,
+    }
+    for clause in cnf:
+        literals = frozenset(clause)
+        if _is_tautology(literals):
+            stats["tautologies"] += 1
+            continue
+        clauses.add(literals)
+    forced: Dict[int, bool] = {}
+    try:
+        for _ in range(max_rounds):
+            stats["rounds"] += 1
+            changed = _propagate_units(clauses, forced, stats)
+            changed |= _subsume(clauses, stats, occurrence_cap)
+            changed |= _self_subsume(clauses, stats, occurrence_cap)
+            if pure_literals:
+                changed |= _eliminate_pure(clauses, forced, stats)
+            if not changed:
+                break
+    except PreprocessingConflict:
+        reduced = CNF(cnf.num_vars)
+        reduced.add_clause([])
+        return PreprocessResult(cnf=reduced, unsat=True, stats=stats)
+    reduced = CNF(cnf.num_vars)
+    for literals in sorted(clauses, key=lambda c: (len(c), sorted(map(abs, c)))):
+        reduced.add_clause(sorted(literals, key=abs))
+    return PreprocessResult(cnf=reduced, forced=forced, stats=stats)
+
+
+def _is_tautology(literals: FrozenSet[int]) -> bool:
+    return any(-lit in literals for lit in literals)
+
+
+def _propagate_units(
+    clauses: Set[FrozenSet[int]],
+    forced: Dict[int, bool],
+    stats: Dict[str, int],
+) -> bool:
+    """Unit propagation to fixpoint; mutates *clauses* and *forced*."""
+    changed = False
+    while True:
+        unit = next((clause for clause in clauses if len(clause) == 1), None)
+        if unit is None:
+            return changed
+        (literal,) = unit
+        variable, value = abs(literal), literal > 0
+        if forced.get(variable, value) != value:
+            raise PreprocessingConflict
+        forced[variable] = value
+        stats["units_propagated"] += 1
+        changed = True
+        replacement: Set[FrozenSet[int]] = set()
+        for clause in clauses:
+            if literal in clause:
+                continue  # satisfied
+            if -literal in clause:
+                rest = clause - {-literal}
+                if not rest:
+                    raise PreprocessingConflict
+                replacement.add(rest)
+            else:
+                replacement.add(clause)
+        clauses.clear()
+        clauses.update(replacement)
+
+
+def _subsume(
+    clauses: Set[FrozenSet[int]],
+    stats: Dict[str, int],
+    occurrence_cap: int,
+) -> bool:
+    """Remove clauses that are supersets of another clause."""
+    changed = False
+    by_size = sorted(clauses, key=len)
+    occurrences: Dict[int, Set[FrozenSet[int]]] = {}
+    for clause in by_size:
+        for literal in clause:
+            occurrences.setdefault(literal, set()).add(clause)
+    for clause in by_size:
+        if clause not in clauses:
+            continue
+        # Candidates: clauses sharing the rarest literal of this clause.
+        rarest = min(clause, key=lambda lit: len(occurrences.get(lit, ())))
+        candidates = occurrences.get(rarest, ())
+        if len(candidates) > occurrence_cap:
+            continue
+        for other in list(candidates):
+            if other is clause or other not in clauses:
+                continue
+            if clause < other:
+                clauses.discard(other)
+                stats["subsumed"] += 1
+                changed = True
+    return changed
+
+
+def _self_subsume(
+    clauses: Set[FrozenSet[int]],
+    stats: Dict[str, int],
+    occurrence_cap: int,
+) -> bool:
+    """Strengthen ``C or l`` to ``C`` when some clause subsumes ``C or -l``.
+
+    Classic self-subsuming resolution: if ``D subseteq (C - {l}) | {-l}``
+    for some clause ``D`` containing ``-l``, then resolving removes ``l``
+    from the clause while preserving equivalence.
+    """
+    changed = False
+    occurrences: Dict[int, List[FrozenSet[int]]] = {}
+    for clause in clauses:
+        for literal in clause:
+            occurrences.setdefault(literal, []).append(clause)
+    for clause in list(clauses):
+        if clause not in clauses:
+            continue
+        for literal in clause:
+            candidates = occurrences.get(-literal, ())
+            if len(candidates) > occurrence_cap:
+                continue
+            resolvent_target = (clause - {literal}) | {-literal}
+            for other in candidates:  # D must contain -l
+                if other not in clauses or other is clause:
+                    continue
+                if other <= resolvent_target:
+                    strengthened = clause - {literal}
+                    if not strengthened:
+                        raise PreprocessingConflict
+                    clauses.discard(clause)
+                    clauses.add(strengthened)
+                    stats["strengthened"] += 1
+                    changed = True
+                    break
+            else:
+                continue
+            break
+    return changed
+
+
+def _eliminate_pure(
+    clauses: Set[FrozenSet[int]],
+    forced: Dict[int, bool],
+    stats: Dict[str, int],
+) -> bool:
+    """Assign literals whose negation never occurs (satisfiability only)."""
+    polarity: Dict[int, Set[bool]] = {}
+    for clause in clauses:
+        for literal in clause:
+            polarity.setdefault(abs(literal), set()).add(literal > 0)
+    changed = False
+    for variable, signs in polarity.items():
+        if len(signs) != 1 or variable in forced:
+            continue
+        (sign,) = signs
+        forced[variable] = sign
+        stats["pure_literals"] += 1
+        changed = True
+        literal = variable if sign else -variable
+        for clause in [c for c in clauses if literal in c]:
+            clauses.discard(clause)
+    return changed
+
+
+def preprocess_stats_summary(result: PreprocessResult, original: CNF) -> Dict[str, object]:
+    """A compact before/after record for the ablation benchmark."""
+    return {
+        "clauses_before": len(original),
+        "clauses_after": len(result.cnf),
+        "forced_literals": len(result.forced),
+        "unsat": result.unsat,
+        **result.stats,
+    }

@@ -1,0 +1,37 @@
+"""Experimental scenarios of Table 1 (seeded synthetic substitutes)."""
+
+from .andersen import andersen_database, andersen_query
+from .base import (
+    Scenario,
+    ScenarioDatabase,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+)
+from .csda import csda_database, csda_query
+from .doctors import doctors_database, doctors_query
+from .galen import galen_like_database, galen_query
+from .transclosure import (
+    bitcoin_like_database,
+    facebook_like_database,
+    transclosure_query,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioDatabase",
+    "all_scenarios",
+    "andersen_database",
+    "andersen_query",
+    "bitcoin_like_database",
+    "csda_database",
+    "csda_query",
+    "doctors_database",
+    "doctors_query",
+    "facebook_like_database",
+    "galen_like_database",
+    "galen_query",
+    "get_scenario",
+    "register_scenario",
+    "transclosure_query",
+]

@@ -1,0 +1,88 @@
+"""Scenario registry mirroring Table 1 of the paper.
+
+A *scenario* pairs a fixed Datalog query with a family of databases. The
+paper's scenarios use real datasets (Bitcoin transactions, Facebook social
+circles, the Galen ontology, program encodings of httpd / PostgreSQL /
+Linux); none of those are available offline, so every database here is
+produced by a seeded synthetic generator with the same schema, the same
+query program (hence identical rule counts and recursion classes as
+Table 1), and graph shapes chosen to preserve the qualitative behaviour
+the paper observes (see DESIGN.md, "Substitutions"). Sizes are scaled to
+pure-Python laptop scale; each database reports its fact count so scaling
+trends remain visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..datalog.database import Database
+from ..datalog.program import DatalogQuery
+
+
+@dataclass(frozen=True)
+class ScenarioDatabase:
+    """One database of a scenario family."""
+
+    name: str
+    factory: Callable[[], Database]
+    description: str
+
+    def build(self) -> Database:
+        """Materialize the database (deterministic: generators are seeded)."""
+        return self.factory()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A Table-1 row: query + database family + classification metadata."""
+
+    name: str
+    query_factory: Callable[[], DatalogQuery]
+    databases: Tuple[ScenarioDatabase, ...]
+    query_type: str
+    num_rules: int
+    description: str
+
+    def query(self) -> DatalogQuery:
+        return self.query_factory()
+
+    def database(self, name: str) -> Database:
+        for db in self.databases:
+            if db.name == name:
+                return db.build()
+        raise KeyError(f"scenario {self.name} has no database {name!r}")
+
+    def database_names(self) -> List[str]:
+        return [db.name for db in self.databases]
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the global registry (idempotent per name)."""
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def all_scenarios() -> List[Scenario]:
+    """All registered scenarios, in Table-1 order of registration."""
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def _ensure_loaded() -> None:
+    # Importing the scenario modules populates the registry.
+    from . import andersen, csda, doctors, galen, transclosure  # noqa: F401

@@ -1,0 +1,90 @@
+"""The CSDA scenario (Table 1, row 5): context-sensitive dataflow analysis.
+
+The paper's CSDA scenario (from Fan, Mallireddy & Koutris 2022) tracks
+null references flowing through a program graph — a reachability-style
+query with 2 linear recursive rules::
+
+    null(V) :- source(V).
+    null(V) :- null(U), edge(U, V).
+
+The databases encode the dataflow graphs of httpd, PostgreSQL and the
+Linux kernel (10M .. 44M facts in the paper); the seeded generator emits
+layered control-flow-like graphs at pure-Python scale: long mostly-forward
+chains (basic blocks) with branch/merge edges and occasional back edges
+(loops).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.parser import parse_program
+from ..datalog.program import DatalogQuery
+from .base import Scenario, ScenarioDatabase, register_scenario
+
+_PROGRAM_TEXT = """
+null(V) :- source(V).
+null(V) :- null(U), edge(U, V).
+"""
+
+
+def csda_query() -> DatalogQuery:
+    """The 2-rule linear recursive null-flow query."""
+    program = parse_program(_PROGRAM_TEXT)
+    assert len(program.rules) == 2
+    assert program.is_recursive() and program.is_linear()
+    return DatalogQuery(program, "null")
+
+
+def csda_database(
+    num_nodes: int = 600,
+    num_sources: int = 4,
+    seed: int = 51,
+) -> Database:
+    """A layered program-dataflow graph with a few null sources."""
+    rng = random.Random(seed)
+    db = Database()
+    for s in range(num_sources):
+        db.add(Atom("source", (f"n{rng.randrange(num_nodes // 4)}",)))
+    for u in range(num_nodes):
+        # Fallthrough edge.
+        if u + 1 < num_nodes:
+            db.add(Atom("edge", (f"n{u}", f"n{u + 1}")))
+        # Branch edge.
+        if rng.random() < 0.25 and u + 2 < num_nodes:
+            target = rng.randint(u + 2, min(num_nodes - 1, u + 20))
+            db.add(Atom("edge", (f"n{u}", f"n{target}")))
+        # Loop back edge.
+        if rng.random() < 0.04 and u > 4:
+            target = rng.randint(max(0, u - 15), u - 1)
+            db.add(Atom("edge", (f"n{u}", f"n{target}")))
+    return db
+
+
+_SIZES = {
+    "httpd": (450, 3, 51),
+    "postgresql": (800, 4, 52),
+    "linux": (1200, 5, 53),
+}
+
+
+register_scenario(
+    Scenario(
+        name="CSDA",
+        query_factory=csda_query,
+        databases=tuple(
+            ScenarioDatabase(
+                name=name,
+                factory=(lambda p=params: csda_database(*p)),
+                description=f"synthetic dataflow graph ({params[0]} nodes, {name}-like)",
+            )
+            for name, params in _SIZES.items()
+        ),
+        query_type="linear, recursive",
+        num_rules=2,
+        description="context-sensitive dataflow; asks for null references",
+    )
+)

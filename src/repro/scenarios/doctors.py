@@ -1,0 +1,176 @@
+"""The Doctors scenarios (Table 1, row 2): Doctors-i for i in 1..7.
+
+Data-exchange-style queries over a single shared database of medical
+records (the paper derives them from a well-known data-exchange benchmark
+with existential variables replaced by fresh constants). Every variant is
+a 6-rule, *linear and non-recursive* program — the setting where arbitrary
+and unambiguous proof trees induce the same why-provenance, which is what
+makes the Figure 5 comparison with the all-at-once baseline fair.
+
+The seven variants chain the same base relations to different depths and
+with a different number of alternative derivations per intensional
+predicate; the variants with more alternatives (1, 5, 7) have larger
+why-provenance families and are the "demanding" ones, mirroring the
+paper's observation that Doctors-1/5/7 separate the two approaches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.parser import parse_program
+from ..datalog.program import DatalogQuery
+from .base import Scenario, ScenarioDatabase, register_scenario
+
+# One shared database for all seven variants (as in the paper).
+_SHARED_DB_CACHE: List[Database] = []
+
+_VARIANT_PROGRAMS = {
+    # Demanding: alternative derivations at two levels.
+    1: """
+    doctor(D, H)    :- person(D, S), worksat(D, H).
+    doctor(D, H)    :- oncall(D, H), person(D, S).
+    treating(D, P)  :- doctor(D, H), treats(D, P).
+    treating(D, P)  :- doctor(D, H), consults(D, P).
+    targets(P, M)   :- treating(D, P), prescription(D, P, M).
+    answer(P, M)    :- targets(P, M).
+    """,
+    # Simple linear chain.
+    2: """
+    doctor(D, H)    :- person(D, S), worksat(D, H).
+    hospdoc(D, C)   :- doctor(D, H), hospital(H, C).
+    treating(D, P)  :- hospdoc(D, C), treats(D, P).
+    medication(P, M):- treating(D, P), prescription(D, P, M).
+    covered(P, M)   :- medication(P, M), insured(P, I).
+    answer(P, M)    :- covered(P, M).
+    """,
+    # Simple: city-level aggregation chain.
+    3: """
+    doctor(D, H)    :- person(D, S), worksat(D, H).
+    hospdoc(D, C)   :- doctor(D, H), hospital(H, C).
+    citycase(C, P)  :- hospdoc(D, C), treats(D, P).
+    cityins(C, I)   :- citycase(C, P), insured(P, I).
+    citylink(C, I)  :- cityins(C, I).
+    answer(C, I)    :- citylink(C, I).
+    """,
+    # Simple: specialist chain.
+    4: """
+    specialist(D, S):- person(D, S), specialty(S).
+    spechosp(D, H)  :- specialist(D, S), worksat(D, H).
+    speccity(D, C)  :- spechosp(D, H), hospital(H, C).
+    spectreat(D, P) :- speccity(D, C), treats(D, P).
+    specmed(P, M)   :- spectreat(D, P), prescription(D, P, M).
+    answer(P, M)    :- specmed(P, M).
+    """,
+    # Demanding: alternatives at the first level, longer chain.
+    5: """
+    contact(D, P)   :- treats(D, P), person(D, S).
+    contact(D, P)   :- consults(D, P), person(D, S).
+    active(D, P)    :- contact(D, P), worksat(D, H).
+    treated(D, P)   :- active(D, P), prescription(D, P, M).
+    medinfo(P, M)   :- treated(D, P), prescription(D, P, M).
+    answer(P, M)    :- medinfo(P, M).
+    """,
+    # Simple: insurance verification chain.
+    6: """
+    insureddoc(D, I):- treats(D, P), insured(P, I).
+    docplan(D, I)   :- insureddoc(D, I), person(D, S).
+    planhosp(I, H)  :- docplan(D, I), worksat(D, H).
+    plancity(I, C)  :- planhosp(I, H), hospital(H, C).
+    planlink(I, C)  :- plancity(I, C).
+    answer(I, C)    :- planlink(I, C).
+    """,
+    # Demanding: alternatives at all three levels (including the answer).
+    7: """
+    doctor(D, H)    :- person(D, S), worksat(D, H).
+    doctor(D, H)    :- oncall(D, H), person(D, S).
+    treating(D, P)  :- doctor(D, H), treats(D, P).
+    treating(D, P)  :- doctor(D, H), consults(D, P).
+    answer(P, M)    :- treating(D, P), prescription(D, P, M).
+    answer(P, M)    :- treating(D, P), prescription(D, P, M), insured(P, I).
+    """,
+}
+
+
+def doctors_query(variant: int) -> DatalogQuery:
+    """The 6-rule linear non-recursive program of Doctors-``variant``."""
+    if variant not in _VARIANT_PROGRAMS:
+        raise ValueError(f"variant must be in 1..7, got {variant}")
+    program = parse_program(_VARIANT_PROGRAMS[variant])
+    assert program.is_linear() and program.is_non_recursive()
+    assert len(program.rules) == 6
+    return DatalogQuery(program, "answer")
+
+
+def doctors_database(
+    num_doctors: int = 60,
+    num_patients: int = 90,
+    num_hospitals: int = 12,
+    seed: int = 21,
+) -> Database:
+    """The shared medical-records database (scaled from the paper's 100K).
+
+    Relations: ``person(d, s)``, ``specialty(s)``, ``worksat(d, h)``,
+    ``oncall(d, h)``, ``hospital(h, c)``, ``treats(d, p)``,
+    ``consults(d, p)``, ``prescription(d, p, m)``, ``insured(p, i)``.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    specialties = ["cardio", "neuro", "ortho", "derm", "gp"]
+    cities = [f"city{i}" for i in range(max(2, num_hospitals // 3))]
+    insurers = ["acme", "zenith", "umbrella"]
+    drugs = [f"drug{i}" for i in range(14)]
+
+    for s in specialties:
+        db.add(Atom("specialty", (s,)))
+    for h in range(num_hospitals):
+        db.add(Atom("hospital", (f"h{h}", rng.choice(cities))))
+    for d in range(num_doctors):
+        doc = f"d{d}"
+        db.add(Atom("person", (doc, rng.choice(specialties))))
+        db.add(Atom("worksat", (doc, f"h{rng.randrange(num_hospitals)}")))
+        if rng.random() < 0.4:
+            db.add(Atom("oncall", (doc, f"h{rng.randrange(num_hospitals)}")))
+    for p in range(num_patients):
+        patient = f"p{p}"
+        db.add(Atom("insured", (patient, rng.choice(insurers))))
+        for _ in range(rng.randint(1, 3)):
+            doc = f"d{rng.randrange(num_doctors)}"
+            db.add(Atom("treats", (doc, patient)))
+            if rng.random() < 0.7:
+                db.add(Atom("prescription", (doc, patient, rng.choice(drugs))))
+        if rng.random() < 0.5:
+            doc = f"d{rng.randrange(num_doctors)}"
+            db.add(Atom("consults", (doc, patient)))
+            if rng.random() < 0.6:
+                db.add(Atom("prescription", (doc, patient, rng.choice(drugs))))
+    return db
+
+
+def shared_database() -> Database:
+    """The single database shared by all seven variants (cached)."""
+    if not _SHARED_DB_CACHE:
+        _SHARED_DB_CACHE.append(doctors_database())
+    return _SHARED_DB_CACHE[0].copy()
+
+
+for _variant in range(1, 8):
+    register_scenario(
+        Scenario(
+            name=f"Doctors-{_variant}",
+            query_factory=(lambda v=_variant: doctors_query(v)),
+            databases=(
+                ScenarioDatabase(
+                    name="D1",
+                    factory=shared_database,
+                    description="shared medical-records database",
+                ),
+            ),
+            query_type="linear, non-recursive",
+            num_rules=6,
+            description=f"data-exchange style query, variant {_variant}",
+        )
+    )

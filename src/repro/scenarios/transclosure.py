@@ -1,0 +1,118 @@
+"""The TransClosure scenario (Table 1, row 1).
+
+Transitive closure of a graph; asks for connected node pairs. Linear and
+recursive, 2 rules — the textbook linear Datalog query::
+
+    tc(x, y) :- e(x, y).
+    tc(x, z) :- tc(x, y), e(y, z).
+
+The paper pairs it with a slice of the Bitcoin transaction network
+(sparse, DAG-like flows) and Facebook social circles (small dense clusters
+with a few bridges — this is the database whose connectivity blows up
+``phi_acyclic`` and the enumeration delays in Figure 4b). The generators
+below synthesize graphs with those two shapes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.parser import parse_program
+from ..datalog.program import DatalogQuery
+from .base import Scenario, ScenarioDatabase, register_scenario
+
+_PROGRAM_TEXT = """
+tc(X, Y) :- e(X, Y).
+tc(X, Z) :- tc(X, Y), e(Y, Z).
+"""
+
+
+def transclosure_query() -> DatalogQuery:
+    """The 2-rule linear recursive transitive-closure query."""
+    return DatalogQuery(parse_program(_PROGRAM_TEXT), "tc")
+
+
+def bitcoin_like_database(
+    num_nodes: int = 220,
+    out_degree: int = 2,
+    seed: int = 11,
+) -> Database:
+    """A sparse, mostly forward-layered transaction-flow graph.
+
+    Nodes are ordered (transactions in time); each node sends value to a
+    couple of later nodes, with a small fraction of back edges — low
+    connectivity, shallow closure, the easy case of the scenario.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    for u in range(num_nodes):
+        targets = set()
+        for _ in range(out_degree):
+            if u + 1 < num_nodes:
+                lo = u + 1
+                hi = min(num_nodes - 1, u + 12)
+                targets.add(rng.randint(lo, hi))
+        if rng.random() < 0.03 and u > 0:
+            targets.add(rng.randint(0, u - 1))
+        for v in targets:
+            if v != u:
+                db.add(Atom("e", (f"t{u}", f"t{v}")))
+    return db
+
+
+def facebook_like_database(
+    num_circles: int = 10,
+    circle_size: int = 8,
+    bridge_edges: int = 14,
+    seed: int = 12,
+) -> Database:
+    """Densely clustered "social circles" with sparse bridges.
+
+    Each circle is (almost) a bidirectional clique; a few random bridges
+    connect circles. Cliques make the closure graph highly connected,
+    which is exactly the regime where the vertex-elimination acyclicity
+    encoding degrades (the paper's Figure 4b discussion).
+    """
+    rng = random.Random(seed)
+    db = Database()
+    members: List[List[str]] = []
+    for c in range(num_circles):
+        circle = [f"p{c}_{i}" for i in range(circle_size)]
+        members.append(circle)
+        for i, u in enumerate(circle):
+            for v in circle[i + 1 :]:
+                if rng.random() < 0.75:
+                    db.add(Atom("e", (u, v)))
+                    db.add(Atom("e", (v, u)))
+    for _ in range(bridge_edges):
+        a, b = rng.sample(range(num_circles), 2)
+        u = rng.choice(members[a])
+        v = rng.choice(members[b])
+        db.add(Atom("e", (u, v)))
+    return db
+
+
+register_scenario(
+    Scenario(
+        name="TransClosure",
+        query_factory=transclosure_query,
+        databases=(
+            ScenarioDatabase(
+                name="bitcoin",
+                factory=bitcoin_like_database,
+                description="sparse transaction-flow graph (Bitcoin-like)",
+            ),
+            ScenarioDatabase(
+                name="facebook",
+                factory=facebook_like_database,
+                description="dense clustered social circles (Facebook-like)",
+            ),
+        ),
+        query_type="linear, recursive",
+        num_rules=2,
+        description="transitive closure of a graph; asks for connected nodes",
+    )
+)

@@ -1,0 +1,89 @@
+"""Semiring provenance for Datalog — the general framework around why-provenance.
+
+The paper studies why-provenance, which is one row of the classical
+semiring-provenance hierarchy.  This subpackage implements the whole
+hierarchy: the semirings themselves (:mod:`repro.semiring.semirings`),
+fixpoint equation systems solved by Kleene iteration
+(:mod:`repro.semiring.equations`, the Esparza-et-al. route the paper
+cites), and provenance circuits with bounded unfolding for recursion
+(:mod:`repro.semiring.circuits`, the Deutch-et-al. route).
+
+The headline agreements, all enforced by the test suite:
+
+* Why semiring == ``why(t, D, Q)``: the brute-force oracle and the SAT
+  machinery agree with the algebraic fixpoint;
+* Min-why semiring == subset-minimal members of ``why(t, D, Q)``;
+* Boolean semiring == query answering; lineage == union of supports;
+* counting semiring reports ``INFINITY`` exactly on facts with infinitely
+  many proof trees (Example 1).
+"""
+
+from .circuits import (
+    Circuit,
+    CyclicClosure,
+    Gate,
+    circuit_from_closure,
+    count_proof_trees,
+    provenance_circuit,
+    unfolded_circuit,
+)
+from .equations import (
+    DivergentSystem,
+    EquationSystem,
+    kleene_solve,
+    semiring_provenance,
+    system_from_closure,
+)
+from .semirings import (
+    INFINITY,
+    SEMIRINGS,
+    BooleanSemiring,
+    CountingSemiring,
+    LineageSemiring,
+    MaxMinSemiring,
+    MinWhySemiring,
+    PolynomialSemiring,
+    Semiring,
+    SemiringBudgetExceeded,
+    TropicalSemiring,
+    ViterbiSemiring,
+    WhySemiring,
+    get_semiring,
+    minimize_family,
+    polynomial_to_counting,
+    polynomial_to_lineage,
+    polynomial_to_why,
+)
+
+__all__ = [
+    "BooleanSemiring",
+    "Circuit",
+    "CountingSemiring",
+    "CyclicClosure",
+    "DivergentSystem",
+    "EquationSystem",
+    "Gate",
+    "INFINITY",
+    "LineageSemiring",
+    "MaxMinSemiring",
+    "MinWhySemiring",
+    "PolynomialSemiring",
+    "SEMIRINGS",
+    "Semiring",
+    "SemiringBudgetExceeded",
+    "TropicalSemiring",
+    "ViterbiSemiring",
+    "WhySemiring",
+    "circuit_from_closure",
+    "count_proof_trees",
+    "get_semiring",
+    "kleene_solve",
+    "minimize_family",
+    "polynomial_to_counting",
+    "polynomial_to_lineage",
+    "polynomial_to_why",
+    "provenance_circuit",
+    "semiring_provenance",
+    "system_from_closure",
+    "unfolded_circuit",
+]

@@ -1,0 +1,506 @@
+"""Commutative semirings for Datalog provenance.
+
+Why-provenance is one instance of the general *semiring provenance*
+framework (Green, Karvounarakis, Tannen; revisited for Datalog by
+Bourgaux et al. 2022, which the paper cites as the conceptual backdrop of
+its proof-tree discussion).  Annotate every database fact with an element
+of a commutative semiring, interpret joint use of facts (the body of a
+rule instance) with ``times`` and alternative derivations with ``plus``,
+and the annotation that the least fixpoint assigns to an answer fact is
+its provenance in that semiring.
+
+The members implemented here cover the classical hierarchy:
+
+* :class:`BooleanSemiring` — plain query answering;
+* :class:`CountingSemiring` — number of proof trees (``infinity`` as soon
+  as the fact depends on a cycle, mirroring Example 1's "infinitely many
+  proof trees");
+* :class:`TropicalSemiring` — cheapest derivation (min-plus);
+* :class:`ViterbiSemiring` / :class:`MaxMinSemiring` — most-likely and
+  bottleneck derivations;
+* :class:`LineageSemiring` — which facts appear in *some* derivation;
+* :class:`WhySemiring` — the paper's object of study: the family of
+  supports of proof trees, ``why(t, D, Q)`` itself (Definition 2);
+* :class:`MinWhySemiring` — the absorptive quotient keeping only the
+  subset-minimal supports (isomorphic to positive Boolean expressions
+  ``PosBool[X]``);
+* :class:`PolynomialSemiring` — full provenance polynomials ``N[X]``,
+  usable whenever the derivation space is finite.
+
+All semirings are *commutative* and *omega-continuous* (their natural
+order has suprema of chains), which is exactly what the Kleene iteration
+in :mod:`repro.semiring.equations` needs to converge on recursive
+programs — see Esparza, Luttenberger and Schlund (CIAA 2014), cited by
+the paper as the equation-system route to why-provenance.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable, Tuple
+
+from ..datalog.atoms import Atom
+
+#: The counting semiring's top element; ``float('inf')`` mixes fine with ints.
+INFINITY = math.inf
+
+
+class SemiringBudgetExceeded(RuntimeError):
+    """Raised when a symbolic semiring value grows past its size budget."""
+
+
+class Semiring(ABC):
+    """A commutative semiring ``(K, plus, times, zero, one)``.
+
+    ``plus`` and ``times`` must be associative and commutative, ``times``
+    distributes over ``plus``, ``zero`` is neutral for ``plus`` and
+    annihilating for ``times``, and ``one`` is neutral for ``times``.
+    These axioms are property-tested in ``tests/test_semirings.py``.
+    """
+
+    #: Human-readable name used in reports and reprs.
+    name: str = "semiring"
+
+    #: Whether ``a plus a == a``; idempotent semirings have a natural
+    #: partial order ``a <= b  iff  a plus b == b``.
+    idempotent_plus: bool = False
+
+    #: Whether ``a plus (a times b) == a`` (absorption); absorptive
+    #: semirings collapse non-minimal derivations, which bounds the Kleene
+    #: chain by the number of antichains of supports.
+    absorptive: bool = False
+
+    #: Whether every Kleene iteration over a finite equation system is
+    #: guaranteed to reach its fixpoint in finitely many rounds.  When
+    #: ``False`` (counting, polynomials) the solver applies divergence
+    #: detection and saturates to :meth:`top`.
+    finite_convergence: bool = True
+
+    @abstractmethod
+    def zero(self):
+        """The neutral element of ``plus`` (annotation of "absent")."""
+
+    @abstractmethod
+    def one(self):
+        """The neutral element of ``times`` (annotation of "free")."""
+
+    @abstractmethod
+    def plus(self, a, b):
+        """Combine *alternative* derivations."""
+
+    @abstractmethod
+    def times(self, a, b):
+        """Combine *jointly used* prerequisites."""
+
+    def top(self):
+        """The largest element, used to saturate diverging unknowns.
+
+        Only meaningful for semirings with ``finite_convergence = False``;
+        the default raises because finite-convergence semirings never
+        diverge.
+        """
+        raise NotImplementedError(f"{self.name} has no top element")
+
+    def from_fact(self, fact: Atom):
+        """The default annotation of a database fact (its "tag")."""
+        return self.one()
+
+    def sum(self, values: Iterable):
+        """Fold ``plus`` over *values* starting from ``zero``."""
+        acc = self.zero()
+        for value in values:
+            acc = self.plus(acc, value)
+        return acc
+
+    def product(self, values: Iterable):
+        """Fold ``times`` over *values* starting from ``one``."""
+        acc = self.one()
+        for value in values:
+            acc = self.times(acc, value)
+        return acc
+
+    def equal(self, a, b) -> bool:
+        """Equality of semiring values (override for quotiented domains)."""
+        return a == b
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class BooleanSemiring(Semiring):
+    """``({False, True}, or, and)`` — certain answers."""
+
+    name = "boolean"
+    idempotent_plus = True
+    absorptive = True
+
+    def zero(self) -> bool:
+        return False
+
+    def one(self) -> bool:
+        return True
+
+    def plus(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def times(self, a: bool, b: bool) -> bool:
+        return a and b
+
+
+class CountingSemiring(Semiring):
+    """``(N u {oo}, +, *)`` — the number of distinct proof trees.
+
+    A fact whose derivations pass through a cycle of the downward closure
+    has infinitely many proof trees (Example 1 of the paper); the Kleene
+    solver detects the divergence and reports :data:`INFINITY`.
+    """
+
+    name = "counting"
+    finite_convergence = False
+
+    def zero(self) -> int:
+        return 0
+
+    def one(self) -> int:
+        return 1
+
+    def plus(self, a, b):
+        return a + b
+
+    def times(self, a, b):
+        # 0 * oo is mathematically 0 in omega-continuous semirings.
+        if a == 0 or b == 0:
+            return 0
+        return a * b
+
+    def top(self):
+        return INFINITY
+
+
+class TropicalSemiring(Semiring):
+    """``(N u {oo}, min, +)`` — the cost of the cheapest derivation.
+
+    With every fact annotated ``1`` (the default), the provenance of an
+    answer is the minimal number of leaves (counted with multiplicity) of
+    any of its proof trees.
+    """
+
+    name = "tropical"
+    idempotent_plus = True
+    absorptive = True
+
+    def zero(self):
+        return INFINITY
+
+    def one(self):
+        return 0
+
+    def plus(self, a, b):
+        return min(a, b)
+
+    def times(self, a, b):
+        return a + b
+
+    def from_fact(self, fact: Atom):
+        return 1
+
+
+class ViterbiSemiring(Semiring):
+    """``([0, 1], max, *)`` — the probability of the likeliest derivation."""
+
+    name = "viterbi"
+    idempotent_plus = True
+    absorptive = True
+
+    def zero(self) -> float:
+        return 0.0
+
+    def one(self) -> float:
+        return 1.0
+
+    def plus(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def times(self, a: float, b: float) -> float:
+        return a * b
+
+
+class MaxMinSemiring(Semiring):
+    """``([0, 1], max, min)`` — bottleneck / access-control provenance."""
+
+    name = "max-min"
+    idempotent_plus = True
+    absorptive = True
+
+    def zero(self) -> float:
+        return 0.0
+
+    def one(self) -> float:
+        return 1.0
+
+    def plus(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def times(self, a: float, b: float) -> float:
+        return min(a, b)
+
+
+#: Sentinel distinguishing "underivable" from "derivable from nothing" in
+#: the lineage semiring, whose carrier is otherwise sets of facts.
+_LINEAGE_ZERO = None
+
+
+class LineageSemiring(Semiring):
+    """Sets of facts with a bottom element — classical lineage.
+
+    The value of an answer is the union of the supports of all its proof
+    trees: every fact that participates in at least one derivation.  The
+    carrier is ``frozenset | None`` with ``None`` as zero, ``plus`` the
+    union and ``times`` also the union (joint and alternative use collapse,
+    which is exactly what makes lineage coarser than why-provenance).
+    Note that lineage is idempotent but *not* absorptive:
+    ``a + a*b = a | b``, not ``a``.
+    """
+
+    name = "lineage"
+    idempotent_plus = True
+    absorptive = False
+
+    def zero(self):
+        return _LINEAGE_ZERO
+
+    def one(self) -> FrozenSet[Atom]:
+        return frozenset()
+
+    def plus(self, a, b):
+        if a is _LINEAGE_ZERO:
+            return b
+        if b is _LINEAGE_ZERO:
+            return a
+        return a | b
+
+    def times(self, a, b):
+        if a is _LINEAGE_ZERO or b is _LINEAGE_ZERO:
+            return _LINEAGE_ZERO
+        return a | b
+
+    def from_fact(self, fact: Atom) -> FrozenSet[Atom]:
+        return frozenset((fact,))
+
+
+class WhySemiring(Semiring):
+    """Families of supports — the paper's why-provenance as a semiring.
+
+    Carrier: finite families of finite sets of facts (``frozenset`` of
+    ``frozenset``).  ``plus`` is family union (either derivation works),
+    ``times`` is the pairwise union of members (both prerequisites are
+    used, so their supports merge).  With every database fact annotated
+    ``{{fact}}``, the least-fixpoint annotation of ``R(t)`` is exactly
+    ``why(t, D, Q)`` of Definition 2 — tested against the brute-force
+    oracle :func:`repro.provenance.enumerate.enumerate_why`.
+
+    The domain is finite (families over ``P(D)``), so Kleene iteration
+    always converges; *max_terms* guards against the exponential blow-up
+    the NP-hardness results promise on adversarial inputs.
+    """
+
+    name = "why"
+    idempotent_plus = True
+    absorptive = False  # {a} + {a, b} keeps the non-minimal {a, b}.
+
+    def __init__(self, max_terms: int = 100_000):
+        self.max_terms = max_terms
+
+    def zero(self) -> FrozenSet[FrozenSet[Atom]]:
+        return frozenset()
+
+    def one(self) -> FrozenSet[FrozenSet[Atom]]:
+        return frozenset((frozenset(),))
+
+    def plus(self, a, b):
+        result = a | b
+        self._check(result)
+        return result
+
+    def times(self, a, b):
+        result = frozenset(x | y for x in a for y in b)
+        self._check(result)
+        return result
+
+    def from_fact(self, fact: Atom) -> FrozenSet[FrozenSet[Atom]]:
+        return frozenset((frozenset((fact,)),))
+
+    def _check(self, family: FrozenSet) -> None:
+        if len(family) > self.max_terms:
+            raise SemiringBudgetExceeded(
+                f"why-semiring value exceeded {self.max_terms} supports"
+            )
+
+
+def minimize_family(family: Iterable[FrozenSet[Atom]]) -> FrozenSet[FrozenSet[Atom]]:
+    """The subset-minimal members of *family* (its antichain quotient)."""
+    members = sorted(set(family), key=len)
+    minimal = []
+    for candidate in members:
+        if not any(kept < candidate or kept == candidate for kept in minimal):
+            minimal.append(candidate)
+    return frozenset(minimal)
+
+
+class MinWhySemiring(Semiring):
+    """Antichains of supports — absorptive why-provenance (``PosBool[X]``).
+
+    Identical to :class:`WhySemiring` except that every operation quotients
+    the result to its subset-minimal members.  Absorption makes the value
+    of an answer the set of *minimal* witnesses, which is also the minimal
+    members of ``why(t, D, Q)`` (tested against the oracle), and keeps
+    intermediate values exponentially smaller in practice.
+    """
+
+    name = "min-why"
+    idempotent_plus = True
+    absorptive = True
+
+    def __init__(self, max_terms: int = 100_000):
+        self.max_terms = max_terms
+
+    def zero(self) -> FrozenSet[FrozenSet[Atom]]:
+        return frozenset()
+
+    def one(self) -> FrozenSet[FrozenSet[Atom]]:
+        return frozenset((frozenset(),))
+
+    def plus(self, a, b):
+        result = minimize_family(itertools.chain(a, b))
+        self._check(result)
+        return result
+
+    def times(self, a, b):
+        result = minimize_family(x | y for x in a for y in b)
+        self._check(result)
+        return result
+
+    def from_fact(self, fact: Atom) -> FrozenSet[FrozenSet[Atom]]:
+        return frozenset((frozenset((fact,)),))
+
+    def _check(self, family: FrozenSet) -> None:
+        if len(family) > self.max_terms:
+            raise SemiringBudgetExceeded(
+                f"min-why-semiring value exceeded {self.max_terms} supports"
+            )
+
+
+#: A provenance monomial: facts with positive integer exponents, stored as
+#: a canonically sorted tuple of ``(fact, exponent)`` pairs.
+Monomial = Tuple[Tuple[Atom, int], ...]
+
+
+def _multiply_monomials(a: Monomial, b: Monomial) -> Monomial:
+    exponents = {}
+    for fact, exp in itertools.chain(a, b):
+        exponents[fact] = exponents.get(fact, 0) + exp
+    return tuple(sorted(exponents.items(), key=lambda item: repr(item[0])))
+
+
+class PolynomialSemiring(Semiring):
+    """Provenance polynomials ``N[X]`` — the most informative annotation.
+
+    Values are mappings ``monomial -> coefficient`` represented as
+    immutable ``frozenset`` of items for hashability.  The coefficient of
+    a monomial counts the proof trees using exactly that multiset of
+    leaves; dropping exponents and coefficients recovers the why
+    semiring, dropping everything but the variables recovers lineage
+    (the classical specialization hierarchy, exercised in tests).
+
+    ``N[X]`` is not finitely convergent on recursive programs — there is
+    no top element either, so the Kleene solver *raises* on divergence
+    instead of saturating.  Use it on non-recursive programs or bounded
+    unfoldings (:mod:`repro.semiring.circuits`).
+    """
+
+    name = "polynomial"
+    finite_convergence = False
+
+    def __init__(self, max_terms: int = 10_000):
+        self.max_terms = max_terms
+
+    def zero(self) -> FrozenSet:
+        return frozenset()
+
+    def one(self) -> FrozenSet:
+        return frozenset(((tuple(), 1),))
+
+    def plus(self, a, b):
+        coeffs = dict(a)
+        for monomial, coeff in b:
+            coeffs[monomial] = coeffs.get(monomial, 0) + coeff
+        return self._pack(coeffs)
+
+    def times(self, a, b):
+        coeffs = {}
+        for mono_a, coeff_a in a:
+            for mono_b, coeff_b in b:
+                monomial = _multiply_monomials(mono_a, mono_b)
+                coeffs[monomial] = coeffs.get(monomial, 0) + coeff_a * coeff_b
+        return self._pack(coeffs)
+
+    def from_fact(self, fact: Atom) -> FrozenSet:
+        monomial: Monomial = ((fact, 1),)
+        return frozenset([(monomial, 1)])
+
+    def _pack(self, coeffs) -> FrozenSet:
+        packed = frozenset((monomial, coeff) for monomial, coeff in coeffs.items() if coeff)
+        if len(packed) > self.max_terms:
+            raise SemiringBudgetExceeded(
+                f"polynomial value exceeded {self.max_terms} monomials"
+            )
+        return packed
+
+
+def polynomial_to_why(value: FrozenSet) -> FrozenSet[FrozenSet[Atom]]:
+    """Specialize an ``N[X]`` value to the why semiring (drop multiplicity)."""
+    return frozenset(
+        frozenset(fact for fact, _exp in monomial) for monomial, _coeff in value
+    )
+
+
+def polynomial_to_counting(value: FrozenSet):
+    """Specialize an ``N[X]`` value to the counting semiring."""
+    return sum(coeff for _monomial, coeff in value)
+
+
+def polynomial_to_lineage(value: FrozenSet):
+    """Specialize an ``N[X]`` value to the lineage semiring."""
+    if not value:
+        return _LINEAGE_ZERO
+    return frozenset(
+        fact for monomial, _coeff in value for fact, _exp in monomial
+    )
+
+
+#: Ready-to-use singleton instances keyed by name.
+SEMIRINGS = {
+    semiring.name: semiring
+    for semiring in (
+        BooleanSemiring(),
+        CountingSemiring(),
+        TropicalSemiring(),
+        ViterbiSemiring(),
+        MaxMinSemiring(),
+        LineageSemiring(),
+        WhySemiring(),
+        MinWhySemiring(),
+        PolynomialSemiring(),
+    )
+}
+
+
+def get_semiring(name: str) -> Semiring:
+    """Look up a registered semiring by name (see :data:`SEMIRINGS`)."""
+    try:
+        return SEMIRINGS[name]
+    except KeyError:
+        known = ", ".join(sorted(SEMIRINGS))
+        raise ValueError(f"unknown semiring {name!r}; known: {known}") from None

@@ -1,0 +1,75 @@
+"""Tests for the all-at-once baseline (the Figure 5 comparator)."""
+
+import pytest
+
+from repro.baselines.all_at_once import (
+    AllAtOnceReport,
+    BaselineBudgetExceeded,
+    all_at_once_why,
+)
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_database, parse_program
+from repro.datalog.program import DatalogQuery
+from repro.provenance.enumerate import enumerate_why, enumerate_why_unambiguous
+from repro.core.enumerator import why_provenance_unambiguous
+
+PROGRAM = parse_program(
+    """
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+    """
+)
+QUERY = DatalogQuery(PROGRAM, "a")
+DB1 = Database(parse_database(
+    "s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a)."
+))
+
+NR_PROGRAM = parse_program(
+    """
+    p(X) :- q(X, Y).
+    top(X) :- p(X), u(X).
+    """
+)
+NR_QUERY = DatalogQuery(NR_PROGRAM, "top")
+NR_DB = Database(parse_database("q(a, b). q(a, c). u(a)."))
+
+
+class TestCorrectness:
+    def test_matches_why_oracle(self):
+        report = all_at_once_why(QUERY, DB1, ("d",))
+        assert report.members == enumerate_why(QUERY, DB1, ("d",))
+
+    def test_non_answer(self):
+        report = all_at_once_why(QUERY, DB1, ("zzz",))
+        assert report.members == frozenset()
+        assert report.iterations == 0
+
+    def test_linear_nonrecursive_matches_sat_pipeline(self):
+        """On linear+non-recursive queries, why == whyUN: the Figure 5
+        comparison computes the same family via both approaches."""
+        baseline = all_at_once_why(NR_QUERY, NR_DB, ("a",)).members
+        sat_based = why_provenance_unambiguous(NR_QUERY, NR_DB, ("a",))
+        assert baseline == sat_based
+        assert baseline == enumerate_why_unambiguous(NR_QUERY, NR_DB, ("a",))
+
+    def test_budget(self):
+        with pytest.raises(BaselineBudgetExceeded):
+            all_at_once_why(QUERY, DB1, ("d",), max_supports_per_fact=1)
+
+
+class TestReport:
+    def test_timings_recorded(self):
+        report = all_at_once_why(QUERY, DB1, ("d",))
+        assert report.closure_seconds >= 0
+        assert report.saturation_seconds >= 0
+        assert report.total_seconds == pytest.approx(
+            report.closure_seconds + report.saturation_seconds
+        )
+        assert report.iterations >= 1
+
+    def test_accepts_precomputed_closure(self):
+        from repro.provenance.grounding import downward_closure
+
+        closure = downward_closure(QUERY.program, DB1, QUERY.answer_atom(("d",)))
+        report = all_at_once_why(QUERY, DB1, ("d",), closure=closure)
+        assert report.members == enumerate_why(QUERY, DB1, ("d",))

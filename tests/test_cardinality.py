@@ -1,0 +1,146 @@
+"""Cardinality encodings vs. brute force."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cardinality import (
+    Totalizer,
+    add_at_least_k,
+    add_at_most_k,
+    add_exactly_k,
+    count_true,
+)
+from repro.sat.cnf import CNF
+from repro.sat.solver import CDCLSolver
+from repro.sat.enumeration import all_models
+
+
+def _solution_counts(n, k, constraint, encoding):
+    """Projected model count of `constraint(x1..xn, k)` under *encoding*."""
+    cnf = CNF()
+    variables = [cnf.new_var() for _ in range(n)]
+    constraint(cnf, variables, k, encoding=encoding)
+    projected = set()
+    for model in all_models(cnf, projection=variables):
+        projected.add(tuple(model.get(v, False) for v in variables))
+    return projected
+
+
+def _expected(n, predicate):
+    return {
+        bits
+        for bits in itertools.product([False, True], repeat=n)
+        if predicate(sum(bits))
+    }
+
+
+@pytest.mark.parametrize("encoding", ["sequential", "totalizer"])
+@pytest.mark.parametrize("n,k", [(1, 0), (3, 1), (4, 2), (5, 3), (4, 4), (3, 5)])
+def test_at_most_k_exact_solution_set(encoding, n, k):
+    got = _solution_counts(n, k, add_at_most_k, encoding)
+    assert got == _expected(n, lambda count: count <= k)
+
+
+@pytest.mark.parametrize("encoding", ["sequential", "totalizer"])
+@pytest.mark.parametrize("n,k", [(3, 0), (3, 1), (4, 2), (4, 4), (3, 4)])
+def test_at_least_k_exact_solution_set(encoding, n, k):
+    got = _solution_counts(n, k, add_at_least_k, encoding)
+    assert got == _expected(n, lambda count: count >= k)
+
+
+@pytest.mark.parametrize("encoding", ["sequential", "totalizer"])
+@pytest.mark.parametrize("n,k", [(3, 0), (4, 1), (4, 2), (5, 5)])
+def test_exactly_k_exact_solution_set(encoding, n, k):
+    got = _solution_counts(n, k, add_exactly_k, encoding)
+    assert got == _expected(n, lambda count: count == k)
+
+
+def test_negative_k_rejected():
+    cnf = CNF()
+    variables = [cnf.new_var() for _ in range(3)]
+    with pytest.raises(ValueError):
+        add_at_most_k(cnf, variables, -1)
+
+
+def test_unknown_encoding_rejected():
+    cnf = CNF()
+    variables = [cnf.new_var() for _ in range(3)]
+    with pytest.raises(ValueError, match="unknown cardinality encoding"):
+        add_at_most_k(cnf, variables, 1, encoding="bdd")
+
+
+def test_at_least_more_than_n_is_unsat():
+    cnf = CNF()
+    variables = [cnf.new_var() for _ in range(2)]
+    add_at_least_k(cnf, variables, 3)
+    solver = CDCLSolver()
+    solver.add_cnf(cnf)
+    assert solver.solve() is False
+
+
+def test_at_most_with_negative_literals():
+    """Constraints over negated literals count the falses."""
+    cnf = CNF()
+    variables = [cnf.new_var() for _ in range(3)]
+    add_at_most_k(cnf, [-v for v in variables], 1)
+    for model in all_models(cnf, projection=variables):
+        falses = sum(1 for v in variables if not model.get(v, False))
+        assert falses <= 1
+
+
+def test_totalizer_outputs_are_sorted_unary():
+    cnf = CNF()
+    variables = [cnf.new_var() for _ in range(4)]
+    totalizer = Totalizer(cnf, variables)
+    outputs = totalizer.outputs()
+    assert len(outputs) == 4
+    for model in all_models(cnf, projection=variables + outputs):
+        count = sum(1 for v in variables if model.get(v, False))
+        for index, output in enumerate(outputs):
+            assert model.get(output, False) == (count >= index + 1)
+
+
+def test_totalizer_incremental_tightening():
+    cnf = CNF()
+    variables = [cnf.new_var() for _ in range(5)]
+    totalizer = Totalizer(cnf, variables)
+    totalizer.enforce_at_most(3)
+    solver = CDCLSolver()
+    solver.add_cnf(cnf)
+    assert solver.solve([variables[0], variables[1], variables[2]]) is True
+    # Tighten the same totalizer to 1 with a single unit clause.
+    solver.add_clause([-totalizer.outputs()[1]])
+    assert solver.solve([variables[0], variables[1]]) is False
+    assert solver.solve([variables[0]]) is True
+
+
+def test_empty_totalizer():
+    cnf = CNF()
+    totalizer = Totalizer(cnf, [])
+    assert totalizer.outputs() == []
+    totalizer.enforce_at_most(0)  # vacuous
+    totalizer.enforce_at_least(0)  # vacuous
+    solver = CDCLSolver()
+    solver.add_cnf(cnf)
+    assert solver.solve() is True
+
+
+def test_count_true_helper():
+    model = {1: True, 2: False, 3: True}
+    assert count_true(model, [1, 2, 3]) == 2
+    assert count_true(model, [-1, -2, -3]) == 1
+    assert count_true(model, []) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 5),
+    k=st.integers(0, 6),
+    encoding=st.sampled_from(["sequential", "totalizer"]),
+)
+def test_random_bounds_match_brute_force(n, k, encoding):
+    got = _solution_counts(n, k, add_at_most_k, encoding)
+    assert got == _expected(n, lambda count: count <= k)

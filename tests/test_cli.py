@@ -1,0 +1,227 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_tuple
+
+PROGRAM_TEXT = """
+tc(X, Y) :- e(X, Y).
+tc(X, Z) :- tc(X, Y), e(Y, Z).
+"""
+DATABASE_TEXT = "e(a, b). e(b, c). e(a, c)."
+
+
+@pytest.fixture
+def files(tmp_path):
+    program = tmp_path / "program.dl"
+    program.write_text(PROGRAM_TEXT)
+    database = tmp_path / "data.dl"
+    database.write_text(DATABASE_TEXT)
+    return str(program), str(database)
+
+
+class TestParseTuple:
+    def test_mixed(self):
+        assert parse_tuple("a,b,3,-2") == ("a", "b", 3, -2)
+
+    def test_empty(self):
+        assert parse_tuple("") == ()
+
+    def test_whitespace(self):
+        assert parse_tuple(" a , 7 ") == ("a", 7)
+
+
+class TestEval:
+    def test_lists_answers(self, files, capsys):
+        program, database = files
+        assert main(["eval", program, database, "--answer", "tc"]) == 0
+        out = capsys.readouterr().out
+        assert "tc(a, b)" in out
+        assert "tc(a, c)" in out
+
+    def test_answer_defaulting(self, files, capsys):
+        program, database = files
+        assert main(["eval", program, database]) == 0
+        assert "tc(a, b)" in capsys.readouterr().out
+
+    def test_answer_required_when_ambiguous(self, tmp_path):
+        program = tmp_path / "p.dl"
+        program.write_text("p(X) :- e(X, Y).\nq(X) :- e(X, Y).\n")
+        database = tmp_path / "d.dl"
+        database.write_text("e(a, b).")
+        with pytest.raises(SystemExit):
+            main(["eval", str(program), str(database)])
+
+
+class TestWhy:
+    def test_enumerates_members(self, files, capsys):
+        program, database = files
+        assert main(["why", program, database, "--answer", "tc", "--tuple", "a,c"]) == 0
+        out = capsys.readouterr().out
+        assert "member 0:" in out and "member 1:" in out
+
+    def test_non_answer(self, files, capsys):
+        program, database = files
+        code = main(["why", program, database, "--answer", "tc", "--tuple", "c,a"])
+        assert code == 1
+
+    def test_limit(self, files, capsys):
+        program, database = files
+        main(["why", program, database, "--answer", "tc", "--tuple", "a,c", "--limit", "1"])
+        out = capsys.readouterr().out
+        assert "member 0:" in out and "member 1:" not in out
+
+
+class TestDecide:
+    def test_member(self, files, tmp_path, capsys):
+        program, database = files
+        subset = tmp_path / "subset.dl"
+        subset.write_text("e(a, c).")
+        code = main([
+            "decide", program, database, "--answer", "tc", "--tuple", "a,c",
+            "--subset", str(subset),
+        ])
+        assert code == 0
+        assert "MEMBER" in capsys.readouterr().out
+
+    def test_non_member(self, files, tmp_path, capsys):
+        program, database = files
+        subset = tmp_path / "subset.dl"
+        subset.write_text("e(a, b).")
+        code = main([
+            "decide", program, database, "--answer", "tc", "--tuple", "a,c",
+            "--subset", str(subset), "--tree-class", "arbitrary",
+        ])
+        assert code == 1
+        assert "NOT-MEMBER" in capsys.readouterr().out
+
+
+class TestDimacs:
+    def test_export(self, files, capsys):
+        program, database = files
+        assert main(["dimacs", program, database, "--answer", "tc", "--tuple", "a,c"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("p cnf ")
+        assert "c projection" in captured.err
+
+    def test_round_trip_satisfiable(self, files, capsys):
+        from repro.sat.cnf import CNF
+        from repro.sat.solver import solve_cnf
+
+        program, database = files
+        main(["dimacs", program, database, "--answer", "tc", "--tuple", "a,c"])
+        text = capsys.readouterr().out
+        cnf = CNF.from_dimacs(text)
+        assert solve_cnf(cnf) is not None
+
+
+class TestMinimal:
+    def test_smallest_and_minimal(self, files, capsys):
+        program, database = files
+        code = main(["minimal", program, database, "--answer", "tc", "--tuple", "a,c"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "smallest (1 facts): e(a, c)." in captured.out
+        assert "minimal 0:" in captured.out
+        assert "2 subset-minimal members" in captured.err
+
+    def test_limit(self, files, capsys):
+        program, database = files
+        code = main([
+            "minimal", program, database, "--answer", "tc", "--tuple", "a,c",
+            "--limit", "1",
+        ])
+        assert code == 0
+        assert "1 subset-minimal members" in capsys.readouterr().err
+
+    def test_non_answer(self, files, capsys):
+        program, database = files
+        code = main(["minimal", program, database, "--answer", "tc", "--tuple", "c,a"])
+        assert code == 1
+        assert "not an answer" in capsys.readouterr().err
+
+
+class TestSemiring:
+    def test_why_members(self, files, capsys):
+        program, database = files
+        code = main([
+            "semiring", program, database, "--answer", "tc", "--tuple", "a,c",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "member 0: e(a, c)." in captured.out
+        assert "members" in captured.err
+
+    def test_counting(self, files, capsys):
+        program, database = files
+        code = main([
+            "semiring", program, database, "--answer", "tc", "--tuple", "a,c",
+            "--semiring", "counting",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_tropical(self, files, capsys):
+        program, database = files
+        code = main([
+            "semiring", program, database, "--answer", "tc", "--tuple", "a,c",
+            "--semiring", "tropical",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_lineage(self, files, capsys):
+        program, database = files
+        code = main([
+            "semiring", program, database, "--answer", "tc", "--tuple", "a,c",
+            "--semiring", "lineage",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "e(a, c)." in out and "e(a, b)." in out
+
+    def test_boolean_non_answer(self, files, capsys):
+        program, database = files
+        code = main([
+            "semiring", program, database, "--answer", "tc", "--tuple", "c,a",
+            "--semiring", "boolean",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "False"
+
+
+class TestExplain:
+    def test_proof_tree(self, files, capsys):
+        program, database = files
+        code = main(["explain", program, database, "--answer", "tc", "--tuple", "a,c"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "tc(a, c)" in captured.out
+        assert "depth 1" in captured.err
+
+    def test_non_answer(self, files, capsys):
+        program, database = files
+        code = main(["explain", program, database, "--answer", "tc", "--tuple", "c,a"])
+        assert code == 1
+        assert "nothing to explain" in capsys.readouterr().err
+
+
+class TestWhyOrder:
+    def test_size_order(self, files, capsys):
+        program, database = files
+        code = main([
+            "why", program, database, "--answer", "tc", "--tuple", "a,c",
+            "--order", "size",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "member 0 (size 1): e(a, c)." in captured.out
+        assert "smallest first" in captured.err
+
+    def test_size_order_non_answer(self, files, capsys):
+        program, database = files
+        code = main([
+            "why", program, database, "--answer", "tc", "--tuple", "c,a",
+            "--order", "size",
+        ])
+        assert code == 1

@@ -1,0 +1,186 @@
+"""Tests for the SAT encoding ``phi_(t, D, Q)`` (Section 5.1 / App. D.2)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_database, parse_program
+from repro.datalog.program import DatalogQuery
+from repro.provenance.enumerate import enumerate_why_unambiguous
+from repro.provenance.grounding import FactNotDerivable
+from repro.sat.enumeration import enumerate_models
+from repro.sat.solver import CDCLSolver
+from repro.core.encoder import encode_why_provenance
+
+PROGRAM = parse_program(
+    """
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+    """
+)
+QUERY = DatalogQuery(PROGRAM, "a")
+DB1 = Database(parse_database(
+    "s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a)."
+))
+DB4 = Database(parse_database(
+    "s(a). s(b). t(a, a, c). t(b, b, c). t(c, c, d)."
+))
+
+
+def sat_supports(encoding):
+    solver = CDCLSolver()
+    solver.add_cnf(encoding.cnf)
+    projection = encoding.projection_variables()
+    supports = set()
+    for record in enumerate_models(encoding.cnf, projection=projection, solver=solver):
+        supports.add(
+            frozenset(
+                fact
+                for fact, var in encoding.database_fact_vars.items()
+                if record.assignment[var]
+            )
+        )
+    return frozenset(supports)
+
+
+class TestProposition15:
+    """whyUN(t, D, Q) == [[phi]] — models project exactly onto members."""
+
+    @pytest.mark.parametrize("db,tup", [
+        (DB1, ("d",)), (DB1, ("a",)), (DB1, ("b",)),
+        (DB4, ("d",)), (DB4, ("c",)),
+    ])
+    @pytest.mark.parametrize("acyclicity", ["vertex-elimination", "transitive-closure"])
+    def test_models_equal_oracle(self, db, tup, acyclicity):
+        encoding = encode_why_provenance(QUERY, db, tup, acyclicity=acyclicity)
+        assert sat_supports(encoding) == enumerate_why_unambiguous(QUERY, db, tup)
+
+
+class TestModelDecoding:
+    def test_decoded_dag_is_valid_compressed_dag(self):
+        encoding = encode_why_provenance(QUERY, DB1, ("d",))
+        solver = CDCLSolver()
+        solver.add_cnf(encoding.cnf)
+        assert solver.solve()
+        dag = encoding.decode_compressed_dag(solver.model())
+        dag.validate(PROGRAM, DB1, expected_root=QUERY.answer_atom(("d",)))
+        assert dag.support() == encoding.decode_support(solver.model())
+
+    def test_decoded_tree_is_unambiguous(self):
+        encoding = encode_why_provenance(QUERY, DB4, ("d",))
+        solver = CDCLSolver()
+        solver.add_cnf(encoding.cnf)
+        assert solver.solve()
+        dag = encoding.decode_compressed_dag(solver.model())
+        tree = dag.unravel(PROGRAM)
+        tree.validate(PROGRAM, DB4)
+        assert tree.is_unambiguous()
+
+    def test_compressed_dag_requires_single_copy(self):
+        encoding = encode_why_provenance(QUERY, DB4, ("d",), copies=2)
+        with pytest.raises(ValueError):
+            encoding.decode_compressed_dag({})
+
+
+class TestMembershipAssumptions:
+    def test_accepting_assumptions(self):
+        encoding = encode_why_provenance(QUERY, DB1, ("d",))
+        member = frozenset(parse_database("s(a). t(a, a, d)."))
+        assumptions = encoding.membership_assumptions(member)
+        solver = CDCLSolver()
+        solver.add_cnf(encoding.cnf)
+        assert solver.solve(assumptions=assumptions)
+
+    def test_rejecting_assumptions(self):
+        encoding = encode_why_provenance(QUERY, DB1, ("d",))
+        non_member = frozenset(parse_database("s(a). t(a, a, b)."))
+        assumptions = encoding.membership_assumptions(non_member)
+        solver = CDCLSolver()
+        solver.add_cnf(encoding.cnf)
+        assert not solver.solve(assumptions=assumptions)
+
+    def test_out_of_closure_subset(self):
+        tc = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Z) :- tc(X, Y), e(Y, Z).
+            """
+        )
+        tc_query = DatalogQuery(tc, "tc")
+        tc_db = Database(parse_database("e(a, b). e(b, c)."))
+        encoding = encode_why_provenance(tc_query, tc_db, ("a", "b"))
+        # e(b, c) is not in the downward closure of tc(a, b).
+        outside = frozenset(parse_database("e(a, b). e(b, c)."))
+        assert encoding.membership_assumptions(outside) is None
+
+
+class TestCopiesGeneralization:
+    def test_copies_two_accepts_example4_full_database(self):
+        """The full DB of Example 4 needs two nodes labeled a(c)."""
+        enc1 = encode_why_provenance(QUERY, DB4, ("d",), copies=1)
+        enc2 = encode_why_provenance(QUERY, DB4, ("d",), copies=2)
+        full = DB4.facts()
+        for enc, expected in ((enc1, False), (enc2, True)):
+            solver = CDCLSolver()
+            solver.add_cnf(enc.cnf)
+            assumptions = enc.membership_assumptions(full)
+            assert bool(solver.solve(assumptions=assumptions)) is expected
+
+    def test_copies_monotone(self):
+        """Every support reachable with k copies stays reachable with k+1."""
+        for tup in (("d",), ("c",)):
+            s2 = sat_supports(encode_why_provenance(QUERY, DB4, tup, copies=2))
+            s3 = sat_supports(encode_why_provenance(QUERY, DB4, tup, copies=3))
+            s1 = sat_supports(encode_why_provenance(QUERY, DB4, tup, copies=1))
+            assert s1 <= s2 <= s3
+
+    def test_copies_stay_within_why(self):
+        from repro.provenance.enumerate import enumerate_why
+
+        why = enumerate_why(QUERY, DB4, ("d",))
+        s3 = sat_supports(encode_why_provenance(QUERY, DB4, ("d",), copies=3))
+        assert s3 <= why
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            encode_why_provenance(QUERY, DB1, ("d",), copies=0)
+
+
+class TestStatsAndErrors:
+    def test_stats_populated(self):
+        encoding = encode_why_provenance(QUERY, DB1, ("d",))
+        stats = encoding.stats
+        assert stats.closure_nodes > 0
+        assert stats.clauses == len(encoding.cnf.clauses)
+        assert stats.acyclicity.method == "vertex-elimination"
+
+    def test_non_answer_raises(self):
+        with pytest.raises(FactNotDerivable):
+            encode_why_provenance(QUERY, DB1, ("zzz",))
+
+    def test_unknown_acyclicity(self):
+        with pytest.raises(ValueError):
+            encode_why_provenance(QUERY, DB1, ("d",), acyclicity="magic")
+
+    def test_wrong_closure_root(self):
+        from repro.provenance.grounding import downward_closure
+
+        closure = downward_closure(PROGRAM, DB1, QUERY.answer_atom(("b",)))
+        with pytest.raises(ValueError, match="rooted"):
+            encode_why_provenance(QUERY, DB1, ("d",), closure=closure)
+
+
+class TestPhaseHints:
+    def test_hints_describe_a_model(self):
+        from repro.datalog.engine import evaluate
+
+        evaluation = evaluate(PROGRAM, DB1)
+        encoding = encode_why_provenance(QUERY, DB1, ("d",))
+        hints = encoding.phase_hints(evaluation.ranks)
+        solver = CDCLSolver()
+        solver.add_cnf(encoding.cnf)
+        solver.set_phases(hints)
+        assert solver.solve()
+        # The warm start makes the first model the minimal-rank derivation.
+        assert encoding.decode_support(solver.model()) == frozenset(
+            parse_database("s(a). t(a, a, d).")
+        )

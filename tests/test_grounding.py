@@ -1,0 +1,138 @@
+"""Unit tests for the GRI and downward closure (Definition 42 / App. D.3)."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_database, parse_program
+from repro.datalog.program import DatalogQuery
+from repro.provenance.grounding import (
+    FactNotDerivable,
+    downward_closure,
+    downward_closure_via_rewriting,
+    min_dag_depth,
+    rule_instance_graph,
+)
+
+PROGRAM = parse_program(
+    """
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+    """
+)
+DB = Database(parse_database(
+    "s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a)."
+))
+QUERY = DatalogQuery(PROGRAM, "a")
+
+TC = parse_program(
+    """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    """
+)
+TC_DB = Database(parse_database("e(a, b). e(b, c). e(c, d)."))
+TC_QUERY = DatalogQuery(TC, "tc")
+
+
+class TestRuleInstanceGraph:
+    def test_heads_are_model_facts(self):
+        gri = rule_instance_graph(PROGRAM, DB)
+        heads = set(gri)
+        assert parse_atom("a(a)") in heads
+        assert parse_atom("a(d)") in heads
+
+    def test_hyperedge_targets_deduplicate(self):
+        gri = rule_instance_graph(PROGRAM, DB)
+        edges_ad = gri[parse_atom("a(d)")]
+        # a(d) <- {a(a), t(a,a,d)} with the duplicate a(a) collapsed.
+        targets = {frozenset(map(str, e.targets)) for e in edges_ad}
+        assert frozenset({"a(a)", "t(a, a, d)"}) in targets
+
+    def test_base_facts_have_no_edges(self):
+        gri = rule_instance_graph(PROGRAM, DB)
+        assert parse_atom("s(a)") not in gri
+
+
+class TestDownwardClosure:
+    def test_contains_only_reachable(self):
+        closure = downward_closure(TC, TC_DB, parse_atom("tc(b, c)"))
+        assert parse_atom("e(b, c)") in closure.nodes
+        assert parse_atom("e(c, d)") not in closure.nodes
+        assert parse_atom("tc(a, d)") not in closure.nodes
+
+    def test_database_nodes(self):
+        closure = downward_closure(PROGRAM, DB, parse_atom("a(d)"))
+        assert closure.database_nodes == DB.facts()  # everything is relevant here
+
+    def test_root_recorded(self):
+        closure = downward_closure(PROGRAM, DB, parse_atom("a(d)"))
+        assert closure.root == parse_atom("a(d)")
+
+    def test_underivable_fact_raises(self):
+        with pytest.raises(FactNotDerivable):
+            downward_closure(PROGRAM, DB, parse_atom("a(zzz)"))
+
+    def test_instances_carry_multisets(self):
+        closure = downward_closure(PROGRAM, DB, parse_atom("a(d)"))
+        instances = closure.instances_by_head[parse_atom("a(d)")]
+        bodies = {tuple(map(str, inst.body)) for inst in instances}
+        # The recursive rule instantiates with y = z = a: body multiset
+        # keeps both occurrences of a(a).
+        assert ("a(a)", "a(a)", "t(a, a, d)") in bodies
+
+    def test_potential_edges(self):
+        closure = downward_closure(TC, TC_DB, parse_atom("tc(a, c)"))
+        pairs = {(str(u), str(v)) for u, v in closure.potential_edges()}
+        assert ("tc(a, c)", "tc(a, b)") in pairs
+        assert ("tc(a, b)", "e(a, b)") in pairs
+
+    def test_edge_count_positive(self):
+        closure = downward_closure(PROGRAM, DB, parse_atom("a(d)"))
+        assert closure.edge_count() >= len(closure.intensional_nodes())
+
+
+class TestRewritingConstruction:
+    @pytest.mark.parametrize(
+        "query,db,fact",
+        [
+            (QUERY, DB, "a(d)"),
+            (QUERY, DB, "a(a)"),
+            (TC_QUERY, TC_DB, "tc(a, d)"),
+            (TC_QUERY, TC_DB, "tc(b, c)"),
+        ],
+    )
+    def test_agrees_with_direct_construction(self, query, db, fact):
+        """The App. D.3 rewriting yields the same closure as the direct BFS."""
+        target = parse_atom(fact)
+        direct = downward_closure(query.program, db, target)
+        rewritten = downward_closure_via_rewriting(query, db, target)
+        assert direct.nodes == rewritten.nodes
+        direct_edges = {
+            (head, edge.targets)
+            for head, edges in direct.hyperedges_by_head.items()
+            for edge in edges
+        }
+        rewritten_edges = {
+            (head, edge.targets)
+            for head, edges in rewritten.hyperedges_by_head.items()
+            for edge in edges
+        }
+        assert direct_edges == rewritten_edges
+        assert direct.database_nodes == rewritten.database_nodes
+
+    def test_underivable_fact_raises(self):
+        with pytest.raises(FactNotDerivable):
+            downward_closure_via_rewriting(QUERY, DB, parse_atom("a(zzz)"))
+
+
+class TestMinDagDepth:
+    def test_chain_depths(self):
+        assert min_dag_depth(TC, TC_DB, parse_atom("tc(a, b)")) == 1
+        assert min_dag_depth(TC, TC_DB, parse_atom("tc(a, c)")) == 2
+        assert min_dag_depth(TC, TC_DB, parse_atom("tc(a, d)")) == 3
+        assert min_dag_depth(TC, TC_DB, parse_atom("e(a, b)")) == 0
+
+    def test_underivable(self):
+        with pytest.raises(FactNotDerivable):
+            min_dag_depth(TC, TC_DB, parse_atom("tc(d, a)"))

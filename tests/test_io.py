@@ -1,0 +1,125 @@
+"""TSV / facts-directory loading and saving."""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import Database, parse_database
+from repro.datalog.atoms import Atom
+from repro.datalog.io import (
+    load_csv,
+    load_facts_dir,
+    load_facts_file,
+    save_csv,
+    save_facts_dir,
+    save_facts_file,
+)
+
+
+@pytest.fixture
+def sample_db():
+    return Database(parse_database(
+        "e(a, b). e(b, c). e(a, c). s(a). w(a, 3). w(b, -7)."
+    ))
+
+
+def test_round_trip_facts_dir(tmp_path, sample_db):
+    written = save_facts_dir(sample_db, str(tmp_path))
+    assert written == {"e": 3, "s": 1, "w": 2}
+    assert sorted(os.listdir(tmp_path)) == ["e.facts", "s.facts", "w.facts"]
+    loaded = load_facts_dir(str(tmp_path))
+    assert loaded == sample_db
+
+
+def test_round_trip_csv(tmp_path, sample_db):
+    path = str(tmp_path / "dump.tsv")
+    rows = save_csv(sample_db, path)
+    assert rows == len(sample_db)
+    assert load_csv(path) == sample_db
+
+
+def test_integers_round_trip(tmp_path):
+    database = Database([Atom("w", ("a", 3)), Atom("w", ("b", -7))])
+    save_facts_dir(database, str(tmp_path))
+    loaded = load_facts_dir(str(tmp_path))
+    facts = {fact.args for fact in loaded}
+    assert facts == {("a", 3), ("b", -7)}
+    assert all(isinstance(args[1], int) for args in facts)
+
+
+def test_predicate_from_filename(tmp_path):
+    path = tmp_path / "edge.facts"
+    path.write_text("a\tb\nb\tc\n")
+    facts = load_facts_file(str(path))
+    assert {fact.pred for fact in facts} == {"edge"}
+    assert len(facts) == 2
+
+
+def test_explicit_predicate_overrides_filename(tmp_path):
+    path = tmp_path / "whatever.txt"
+    path.write_text("a\tb\n")
+    (fact,) = load_facts_file(str(path), predicate="link")
+    assert fact == Atom("link", ("a", "b"))
+
+
+def test_comments_and_blank_lines_are_skipped(tmp_path):
+    path = tmp_path / "e.facts"
+    path.write_text("# header\n\na\tb\n# trailing\n")
+    facts = load_facts_file(str(path))
+    assert facts == [Atom("e", ("a", "b"))]
+
+
+def test_custom_delimiter(tmp_path):
+    path = tmp_path / "e.facts"
+    path.write_text("a,b\n")
+    (fact,) = load_facts_file(str(path), delimiter=",")
+    assert fact.args == ("a", "b")
+
+
+def test_mixed_predicates_in_one_file_rejected(tmp_path):
+    facts = [Atom("e", ("a",)), Atom("f", ("b",))]
+    with pytest.raises(ValueError, match="mixed predicates"):
+        save_facts_file(facts, str(tmp_path / "bad.facts"))
+
+
+def test_tab_in_value_rejected(tmp_path):
+    facts = [Atom("e", ("a\tb",))]
+    with pytest.raises(ValueError, match="not representable"):
+        save_facts_file(facts, str(tmp_path / "bad.facts"))
+
+
+def test_zero_arity_facts_round_trip(tmp_path):
+    database = Database([Atom("flag", ())])
+    save_facts_dir(database, str(tmp_path))
+    loaded = load_facts_dir(str(tmp_path))
+    # A nullary fact serializes as an empty line... which load skips;
+    # the convention cannot represent nullary relations, so the file is
+    # written but reads back empty. Document the asymmetry:
+    assert len(loaded) == 0
+
+
+def test_non_facts_files_are_ignored(tmp_path, sample_db):
+    save_facts_dir(sample_db, str(tmp_path))
+    (tmp_path / "README.txt").write_text("not facts")
+    assert load_facts_dir(str(tmp_path)) == sample_db
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.text(alphabet="abcxyz", min_size=1, max_size=4),
+            st.integers(-50, 50),
+        ),
+        max_size=10,
+        unique=True,
+    )
+)
+def test_random_relations_round_trip(tmp_path, rows):
+    database = Database([Atom("r", pair) for pair in rows])
+    target = tmp_path / "rel"
+    save_facts_dir(database, str(target))
+    assert load_facts_dir(str(target)) == database

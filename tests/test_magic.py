@@ -1,0 +1,126 @@
+"""Tests for the magic-set rewriting (goal-directed evaluation)."""
+
+import random
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.engine import answers, evaluate, holds
+from repro.datalog.magic import magic_evaluate, magic_holds, magic_rewrite
+from repro.datalog.parser import parse_database, parse_program
+from repro.datalog.program import DatalogQuery
+
+TC = parse_program(
+    """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    """
+)
+TC_QUERY = DatalogQuery(TC, "tc")
+
+PA = parse_program(
+    """
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+    """
+)
+PA_QUERY = DatalogQuery(PA, "a")
+
+
+class TestRewritingShape:
+    def test_magic_predicates_created(self):
+        rewriting = magic_rewrite(TC_QUERY, ("a", "b"))
+        preds = {rule.head.pred for rule in rewriting.program.rules}
+        assert any(p.startswith("magic_tc") for p in preds)
+        assert rewriting.seed.pred.startswith("magic_tc")
+        assert rewriting.goal.args == ("a", "b")
+
+    def test_guarded_rules_reference_magic(self):
+        rewriting = magic_rewrite(TC_QUERY, ("a", "b"))
+        for rule in rewriting.program.rules:
+            if rule.head.pred.startswith("tc__"):
+                assert rule.body[0].pred.startswith("magic_tc"), str(rule)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        nodes = ["a", "b", "c", "d", "e"]
+        db = Database(
+            Atom("e", (u, v))
+            for u in nodes
+            for v in nodes
+            if u != v and rng.random() < 0.3
+        )
+        answer_set = answers(TC_QUERY, db)
+        for u in nodes:
+            for v in nodes:
+                expected = (u, v) in answer_set
+                assert magic_holds(TC_QUERY, db, (u, v)) == expected, (u, v)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_path_accessibility(self, seed):
+        rng = random.Random(seed + 50)
+        nodes = ["a", "b", "c", "d"]
+        db = Database()
+        db.add(Atom("s", (rng.choice(nodes),)))
+        for _ in range(5):
+            db.add(Atom("t", (rng.choice(nodes), rng.choice(nodes), rng.choice(nodes))))
+        answer_set = answers(PA_QUERY, db)
+        for node in nodes:
+            expected = (node,) in answer_set
+            assert magic_holds(PA_QUERY, db, (node,)) == expected, node
+
+    def test_nonrecursive_chain(self):
+        program = parse_program(
+            """
+            p(X) :- q(X, Y).
+            top(X) :- p(X), u(X).
+            """
+        )
+        query = DatalogQuery(program, "top")
+        db = Database(parse_database("q(a, b). u(a). q(c, d)."))
+        assert magic_holds(query, db, ("a",))
+        assert not magic_holds(query, db, ("c",))
+        assert not magic_holds(query, db, ("b",))
+
+
+class TestGoalDirectedness:
+    def test_fewer_facts_on_long_chain(self):
+        """Asking about the head of a chain must not materialize the whole
+        transitive closure."""
+        n = 40
+        db = Database(Atom("e", (f"n{i}", f"n{i+1}")) for i in range(n))
+        full = evaluate(TC, db)
+        full_derived = len(full.model) - len(db)
+        magic = magic_evaluate(TC_QUERY, db, ("n0", "n1"))
+        assert magic.goal_holds
+        assert magic.derived_facts < full_derived
+
+    def test_unreachable_goal_cheap(self):
+        n = 30
+        db = Database(Atom("e", (f"n{i}", f"n{i+1}")) for i in range(n))
+        magic = magic_evaluate(TC_QUERY, db, ("n5", "n0"))  # backwards: no path
+        assert not magic.goal_holds
+        # Only the n5..n30 suffix is explored, never the full closure.
+        full = evaluate(TC, db)
+        assert magic.derived_facts < len(full.model) - len(db)
+
+
+class TestScenarioAgreement:
+    @pytest.mark.parametrize("scenario_name,db_name", [
+        ("CSDA", "httpd"),
+        ("Doctors-2", "D1"),
+    ])
+    def test_agrees_with_bottom_up(self, scenario_name, db_name):
+        from repro.harness.runner import sample_answer_tuples
+        from repro.scenarios import get_scenario
+
+        scenario = get_scenario(scenario_name)
+        query = scenario.query()
+        db = scenario.database(db_name).restrict(query.program.edb)
+        evaluation = evaluate(query.program, db)
+        for tup in sample_answer_tuples(query, db, count=3, seed=2, evaluation=evaluation):
+            assert magic_holds(query, db, tup)

@@ -1,0 +1,175 @@
+"""Minimal-explanation extraction vs. the brute-force oracles."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minimal import MinimalityReport, minimal_members, smallest_member
+from repro.datalog import Database, DatalogQuery, parse_database, parse_program
+from repro.datalog.atoms import Atom
+from repro.provenance import enumerate_why, enumerate_why_unambiguous
+from repro.semiring import minimize_family
+
+
+def _pap(db_text):
+    program = parse_program(
+        """
+        a(X) :- s(X).
+        a(X) :- a(Y), a(Z), t(Y, Z, X).
+        """
+    )
+    query = DatalogQuery(program, "a")
+    return query, Database(parse_database(db_text))
+
+
+RUNNING_EXAMPLE = "s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a)."
+AMBIGUITY_EXAMPLE = "s(a). s(b). t(a, a, c). t(b, b, c). t(c, c, d)."
+
+
+def test_smallest_member_on_running_example():
+    query, database = _pap(RUNNING_EXAMPLE)
+    member = smallest_member(query, database, ("d",))
+    assert member == frozenset(parse_database("s(a). t(a, a, d)."))
+
+
+def test_smallest_member_matches_oracle_minimum():
+    query, database = _pap(AMBIGUITY_EXAMPLE)
+    member = smallest_member(query, database, ("d",))
+    family = enumerate_why_unambiguous(query, database, ("d",))
+    assert member in family
+    assert len(member) == min(len(candidate) for candidate in family)
+
+
+def test_smallest_member_none_for_non_answer():
+    query, database = _pap(RUNNING_EXAMPLE)
+    assert smallest_member(query, database, ("zzz",)) is None
+
+
+def test_minimal_members_on_ambiguity_example():
+    query, database = _pap(AMBIGUITY_EXAMPLE)
+    members = minimal_members(query, database, ("d",))
+    expected = {
+        frozenset(parse_database("s(a). t(a, a, c). t(c, c, d).")),
+        frozenset(parse_database("s(b). t(b, b, c). t(c, c, d).")),
+    }
+    assert set(members) == expected
+
+
+def test_minimal_members_are_an_antichain_and_cover_the_family():
+    query, database = _pap(RUNNING_EXAMPLE)
+    members = set(minimal_members(query, database, ("d",)))
+    family = enumerate_why_unambiguous(query, database, ("d",))
+    assert members == set(minimize_family(family))
+    for member in family:
+        assert any(minimal <= member for minimal in members)
+
+
+def test_minimal_members_of_why_equal_those_of_why_unambiguous():
+    """Subset-minimal members of why and whyUN coincide (see module doc)."""
+    query, database = _pap(AMBIGUITY_EXAMPLE)
+    why = enumerate_why(query, database, ("d",))
+    why_un = enumerate_why_unambiguous(query, database, ("d",))
+    assert minimize_family(why) == minimize_family(why_un)
+    assert set(minimal_members(query, database, ("d",))) == set(minimize_family(why))
+
+
+def test_minimal_members_respects_limit():
+    query, database = _pap(AMBIGUITY_EXAMPLE)
+    members = minimal_members(query, database, ("d",), limit=1)
+    assert len(members) == 1
+
+
+def test_minimal_members_empty_for_non_answer():
+    query, database = _pap(RUNNING_EXAMPLE)
+    assert minimal_members(query, database, ("zzz",)) == []
+
+
+def test_report_counters_accumulate():
+    query, database = _pap(AMBIGUITY_EXAMPLE)
+    report = MinimalityReport()
+    members = minimal_members(query, database, ("d",), report=report)
+    assert report.members == members
+    assert report.solve_calls >= len(members) + 1
+
+
+def test_smallest_member_report():
+    query, database = _pap(RUNNING_EXAMPLE)
+    report = MinimalityReport()
+    member = smallest_member(query, database, ("d",), report=report)
+    assert report.members == [member]
+    assert report.solve_calls >= 2  # the incumbent plus the failed tightening
+
+
+def test_transitive_closure_minimal_paths():
+    program = parse_program(
+        """
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    )
+    query = DatalogQuery(program, "t")
+    database = Database(parse_database("e(a, b). e(b, c). e(a, c)."))
+    assert smallest_member(query, database, ("a", "c")) == frozenset(
+        parse_database("e(a, c).")
+    )
+    members = set(minimal_members(query, database, ("a", "c")))
+    assert members == {
+        frozenset(parse_database("e(a, c).")),
+        frozenset(parse_database("e(a, b). e(b, c).")),
+    }
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    edges=st.sets(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=8
+    )
+)
+def test_random_graphs_minimal_members_match_oracle(edges):
+    program = parse_program(
+        """
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    )
+    query = DatalogQuery(program, "t")
+    database = Database([Atom("e", (f"n{u}", f"n{v}")) for u, v in edges])
+    u, v = next(iter(sorted(edges)))
+    tup = (f"n{u}", f"n{v}")
+    oracle = minimize_family(enumerate_why_unambiguous(query, database, tup))
+    assert set(minimal_members(query, database, tup)) == set(oracle)
+    if oracle:
+        smallest = smallest_member(query, database, tup)
+        assert len(smallest) == min(len(member) for member in oracle)
+        assert smallest in enumerate_why_unambiguous(query, database, tup)
+
+
+def test_members_by_size_is_sorted_and_complete():
+    from repro.core.minimal import members_by_size
+
+    query, database = _pap(RUNNING_EXAMPLE)
+    pairs = list(members_by_size(query, database, ("d",)))
+    sizes = [size for _member, size in pairs]
+    assert sizes == sorted(sizes)
+    members = {member for member, _size in pairs}
+    assert members == set(enumerate_why_unambiguous(query, database, ("d",)))
+    for member, size in pairs:
+        assert len(member) == size
+
+
+def test_members_by_size_respects_limit():
+    from repro.core.minimal import members_by_size
+
+    query, database = _pap(AMBIGUITY_EXAMPLE)
+    pairs = list(members_by_size(query, database, ("d",), limit=1))
+    assert len(pairs) == 1
+    member, size = pairs[0]
+    family = enumerate_why_unambiguous(query, database, ("d",))
+    assert member in family
+    assert size == min(len(candidate) for candidate in family)
+
+
+def test_members_by_size_empty_for_non_answer():
+    from repro.core.minimal import members_by_size
+
+    query, database = _pap(RUNNING_EXAMPLE)
+    assert list(members_by_size(query, database, ("zzz",))) == []

@@ -1,0 +1,99 @@
+"""Unit tests for the Datalog parser."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import (
+    ParseError,
+    parse_atom,
+    parse_database,
+    parse_program,
+    parse_rule,
+)
+from repro.datalog.terms import Variable
+
+
+class TestParseProgram:
+    def test_transitive_closure(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Z) :- tc(X, Y), e(Y, Z).
+            """
+        )
+        assert len(program.rules) == 2
+        assert program.idb == {"tc"}
+        assert program.edb == {"e"}
+
+    def test_case_convention(self):
+        rule = parse_rule("p(X, a) :- q(X, Y42, b7).")
+        assert rule.head.args[0] == Variable("X")
+        assert rule.head.args[1] == "a"
+        body_args = rule.body[0].args
+        assert body_args == (Variable("X"), Variable("Y42"), "b7")
+
+    def test_underscore_is_variable(self):
+        rule = parse_rule("p(X) :- q(X, _pad).")
+        assert rule.body[0].args[1] == Variable("_pad")
+
+    def test_integers_and_strings(self):
+        facts = parse_database("r(1, -2, 'hello world', \"x y\").")
+        assert facts == [Atom("r", (1, -2, "hello world", "x y"))]
+
+    def test_comments_ignored(self):
+        program = parse_program(
+            """
+            % a comment
+            p(X) :- q(X).  # trailing comment
+            """
+        )
+        assert len(program.rules) == 1
+
+    def test_facts_rejected_in_program(self):
+        with pytest.raises(ParseError):
+            parse_program("p(a).")
+
+    def test_rules_rejected_in_database(self):
+        with pytest.raises(ParseError):
+            parse_database("p(X) :- q(X).")
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program("p(X, Y) :- q(X).")
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- q(X)")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- q(X) & r(X).")
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_program("p(X) :- q(X).\np(X) :- .\n")
+
+
+class TestParseAtom:
+    def test_with_and_without_dot(self):
+        assert parse_atom("p(a, B)") == Atom("p", ("a", Variable("B")))
+        assert parse_atom("p(a).") == Atom("p", ("a",))
+
+    def test_zero_arity(self):
+        assert parse_atom("done") == Atom("done", ())
+
+
+class TestRoundTrip:
+    def test_program_str_reparses(self):
+        text = """
+        tc(X, Y) :- e(X, Y).
+        tc(X, Z) :- tc(X, Y), e(Y, Z).
+        """
+        program = parse_program(text)
+        reparsed = parse_program(str(program))
+        assert program == reparsed
+
+    def test_database_round_trip(self):
+        facts = parse_database("e(a, b). e(b, c). s(a).")
+        text = " ".join(f"{fact}." for fact in facts)
+        assert set(parse_database(text)) == set(facts)

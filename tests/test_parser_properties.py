@@ -1,0 +1,86 @@
+"""Property-based tests for the parser: print/parse round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_atom, parse_database, parse_program
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+
+predicate_names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+constant_names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+variable_names = st.from_regex(r"[A-Z][A-Za-z0-9_]{0,6}", fullmatch=True)
+integers = st.integers(min_value=-999, max_value=999)
+
+constants = st.one_of(constant_names, integers)
+terms = st.one_of(constants, variable_names.map(Variable))
+
+
+@st.composite
+def atoms(draw, ground=False):
+    pred = draw(predicate_names)
+    arity = draw(st.integers(min_value=0, max_value=4))
+    pool = constants if ground else terms
+    args = tuple(draw(pool) for _ in range(arity))
+    return Atom(pred, args)
+
+
+@st.composite
+def safe_rules(draw):
+    body = draw(st.lists(atoms(), min_size=1, max_size=3))
+    body_vars = sorted(
+        {t for atom in body for t in atom.variables()}, key=lambda v: v.name
+    )
+    head_pred = draw(predicate_names.map(lambda p: "h_" + p))
+    arity = draw(st.integers(min_value=0, max_value=3))
+    if body_vars:
+        head_args = tuple(
+            draw(st.one_of(st.sampled_from(body_vars), constants))
+            for _ in range(arity)
+        )
+    else:
+        head_args = tuple(draw(constants) for _ in range(arity))
+    return Rule(Atom(head_pred, head_args), tuple(body))
+
+
+common = settings(max_examples=60, deadline=None)
+
+
+class TestRoundTrips:
+    @given(atom=atoms(ground=True))
+    @common
+    def test_fact_round_trip(self, atom):
+        assert parse_atom(str(atom)) == atom
+
+    @given(atom=atoms())
+    @common
+    def test_atom_with_variables_round_trip(self, atom):
+        assert parse_atom(str(atom)) == atom
+
+    @given(rule=safe_rules())
+    @common
+    def test_rule_round_trip(self, rule):
+        try:
+            Program([rule])
+        except ValueError:
+            return  # the random rule uses one predicate with two arities
+        parsed = parse_program(str(rule) + "\n")
+        assert list(parsed.rules) == [rule]
+
+    @given(rules=st.lists(safe_rules(), min_size=1, max_size=4))
+    @common
+    def test_program_round_trip(self, rules):
+        try:
+            program = Program(rules)
+        except ValueError:
+            # Arity conflicts between randomly drawn rules are fine to skip.
+            return
+        assert parse_program(str(program)) == program
+
+    @given(facts=st.lists(atoms(ground=True), min_size=0, max_size=6))
+    @common
+    def test_database_round_trip(self, facts):
+        text = "\n".join(f"{fact}." for fact in facts)
+        assert set(parse_database(text)) == set(facts)

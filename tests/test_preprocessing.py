@@ -1,0 +1,212 @@
+"""CNF preprocessing: equivalence preservation and technique behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import encode_why_provenance
+from repro.datalog import Database, DatalogQuery, parse_database, parse_program
+from repro.sat.cnf import CNF
+from repro.sat.enumeration import all_models
+from repro.sat.preprocessing import (
+    PreprocessResult,
+    preprocess,
+    preprocess_stats_summary,
+)
+from repro.sat.solver import CDCLSolver
+
+
+def _cnf(clauses, num_vars=None):
+    if num_vars is None:
+        num_vars = max(
+            (abs(lit) for clause in clauses for lit in clause), default=0
+        )
+    cnf = CNF(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+def _model_set(cnf, variables):
+    return {
+        tuple(model.get(v, False) for v in variables)
+        for model in all_models(cnf, projection=variables)
+    }
+
+
+def _model_set_with_forced(result: PreprocessResult, variables):
+    models = set()
+    for model in all_models(result.cnf, projection=variables):
+        extended = result.extend_model(model)
+        models.add(tuple(extended.get(v, False) for v in variables))
+    return models
+
+
+def test_tautologies_are_dropped():
+    cnf = _cnf([[1, -1], [1, 2]])
+    result = preprocess(cnf)
+    assert result.stats["tautologies"] == 1
+    assert len(result.cnf) == 1
+
+
+def test_unit_propagation_collects_forced_literals():
+    cnf = _cnf([[1], [-1, 2], [-2, 3], [3, 4]])
+    result = preprocess(cnf)
+    assert result.forced == {1: True, 2: True, 3: True}
+    assert len(result.cnf) == 0
+    assert result.stats["units_propagated"] == 3
+
+
+def test_unit_conflict_reports_unsat():
+    cnf = _cnf([[1], [-1]])
+    result = preprocess(cnf)
+    assert result.unsat is True
+    solver = CDCLSolver()
+    solver.add_cnf(result.cnf)
+    assert solver.solve() is False
+
+
+def test_propagation_derived_conflict():
+    cnf = _cnf([[1], [-1, 2], [-1, -2]])
+    result = preprocess(cnf)
+    assert result.unsat is True
+
+
+def test_subsumption_removes_supersets():
+    cnf = _cnf([[1, 2], [1, 2, 3], [1, 2, 4]])
+    result = preprocess(cnf)
+    assert result.stats["subsumed"] == 2
+    assert set(map(frozenset, result.cnf)) == {frozenset({1, 2})}
+
+
+def test_self_subsumption_strengthens():
+    # (1 2) and (-1 2 3): resolving on 1 gives (2 3) subsumed... the
+    # classic pattern: (1 2 3) with (-1 2) strengthens to (2 3).
+    cnf = _cnf([[1, 2, 3], [-1, 2]])
+    result = preprocess(cnf)
+    assert result.stats["strengthened"] >= 1
+    assert frozenset({2, 3}) in set(map(frozenset, result.cnf))
+
+
+def test_pure_literal_elimination_is_opt_in():
+    cnf = _cnf([[1, 2], [1, 3]])
+    kept = preprocess(cnf)
+    assert kept.stats["pure_literals"] == 0
+    pure = preprocess(cnf, pure_literals=True)
+    assert pure.stats["pure_literals"] >= 1
+    assert pure.forced.get(1) is True
+    assert len(pure.cnf) == 0
+
+
+def test_pure_literal_preserves_satisfiability_not_models():
+    cnf = _cnf([[1, 2]])
+    result = preprocess(cnf, pure_literals=True)
+    # Both 1 and 2 are pure; the original has 3 models, the reduced 1.
+    assert _model_set(cnf, [1, 2]) > _model_set_with_forced(result, [1, 2])
+    solver = CDCLSolver()
+    solver.add_cnf(result.cnf)
+    assert solver.solve() is True
+
+
+def test_equivalence_preserving_pipeline_keeps_every_model():
+    cnf = _cnf([[1, 2, 3], [-1, 2], [2, 3], [-3, 1], [1, 2, 3, 4]])
+    result = preprocess(cnf)
+    variables = [1, 2, 3, 4]
+    assert _model_set(cnf, variables) == _model_set_with_forced(result, variables)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    clauses=st.lists(
+        st.lists(
+            st.integers(-4, 4).filter(lambda lit: lit != 0),
+            min_size=1,
+            max_size=3,
+        ),
+        max_size=8,
+    )
+)
+def test_random_formulas_preserve_model_sets(clauses):
+    cnf = _cnf(clauses, num_vars=4)
+    result = preprocess(cnf)
+    variables = [1, 2, 3, 4]
+    if result.unsat:
+        assert _model_set(cnf, variables) == set()
+    else:
+        assert _model_set(cnf, variables) == _model_set_with_forced(result, variables)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    clauses=st.lists(
+        st.lists(
+            st.integers(-4, 4).filter(lambda lit: lit != 0),
+            min_size=1,
+            max_size=3,
+        ),
+        max_size=8,
+    )
+)
+def test_pure_literal_mode_preserves_satisfiability(clauses):
+    cnf = _cnf(clauses, num_vars=4)
+    result = preprocess(cnf, pure_literals=True)
+    original_sat = bool(_model_set(cnf, [1, 2, 3, 4]))
+    solver = CDCLSolver()
+    solver.add_cnf(result.cnf)
+    for variable, value in result.forced.items():
+        solver.add_clause([variable if value else -variable])
+    assert (solver.solve() is True) == original_sat
+
+
+def test_provenance_formula_shrinks_and_keeps_supports():
+    program = parse_program(
+        """
+        a(X) :- s(X).
+        a(X) :- a(Y), a(Z), t(Y, Z, X).
+        """
+    )
+    query = DatalogQuery(program, "a")
+    database = Database(
+        parse_database("s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a).")
+    )
+    encoding = encode_why_provenance(query, database, ("d",))
+    result = preprocess(encoding.cnf)
+    assert not result.unsat
+    assert len(result.cnf) < len(encoding.cnf)
+    projection = encoding.projection_variables()
+
+    def supports(models):
+        out = set()
+        for model in models:
+            out.add(
+                frozenset(
+                    fact
+                    for fact, var in encoding.database_fact_vars.items()
+                    if model.get(var, False)
+                )
+            )
+        return out
+
+    before = supports(all_models(encoding.cnf, projection=projection))
+    after = supports(
+        result.extend_model(model)
+        for model in all_models(result.cnf, projection=projection)
+    )
+    assert before == after
+
+
+def test_stats_summary_shape():
+    cnf = _cnf([[1], [1, 2], [2, 3]])
+    result = preprocess(cnf)
+    summary = preprocess_stats_summary(result, cnf)
+    assert summary["clauses_before"] == 3
+    assert summary["forced_literals"] == len(result.forced)
+    assert "subsumed" in summary and "rounds" in summary
+
+
+def test_max_rounds_limits_iteration():
+    cnf = _cnf([[1], [-1, 2], [-2, 3], [-3, 4]])
+    shallow = preprocess(cnf, max_rounds=1)
+    deep = preprocess(cnf)
+    assert shallow.stats["rounds"] == 1
+    assert len(deep.forced) >= len(shallow.forced)

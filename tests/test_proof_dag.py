@@ -1,0 +1,168 @@
+"""Unit tests for proof DAGs and compressed DAGs."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_database, parse_program
+from repro.provenance.grounding import HyperEdge, downward_closure
+from repro.provenance.proof_dag import (
+    CompressedDAG,
+    InvalidProofDAG,
+    ProofDAG,
+    compressed_dag_from_edges,
+)
+
+PROGRAM = parse_program(
+    """
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+    """
+)
+DB = Database(parse_database(
+    "s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a)."
+))
+
+
+def example3_simple() -> ProofDAG:
+    """The first proof DAG of Example 3 (shared leaves)."""
+    labels = {
+        0: parse_atom("a(d)"),
+        1: parse_atom("a(a)"),
+        2: parse_atom("a(a)"),
+        3: parse_atom("s(a)"),
+        4: parse_atom("t(a, a, d)"),
+    }
+    children = {0: [1, 2, 4], 1: [3], 2: [3]}
+    return ProofDAG(labels, children, 0)
+
+
+class TestProofDAG:
+    def test_support(self):
+        assert example3_simple().support() == frozenset(
+            parse_database("s(a). t(a, a, d).")
+        )
+
+    def test_validate(self):
+        example3_simple().validate(PROGRAM, DB, expected_root=parse_atom("a(d)"))
+
+    def test_depth(self):
+        assert example3_simple().depth() == 2
+
+    def test_cycle_detection(self):
+        labels = {0: parse_atom("a(d)"), 1: parse_atom("a(d)")}
+        dag = ProofDAG(labels, {0: [1], 1: [0]}, 0)
+        assert not dag.is_acyclic()
+        with pytest.raises(InvalidProofDAG):
+            dag.validate(PROGRAM, DB)
+
+    def test_unique_root_required(self):
+        labels = {
+            0: parse_atom("a(a)"),
+            1: parse_atom("s(a)"),
+            2: parse_atom("a(a)"),
+        }
+        dag = ProofDAG(labels, {0: [1], 2: [1]}, 0)  # node 2 is a second root
+        with pytest.raises(InvalidProofDAG, match="root"):
+            dag.validate(PROGRAM, DB)
+
+    def test_leaf_must_be_database_fact(self):
+        labels = {0: parse_atom("a(q)"), 1: parse_atom("s(q)")}
+        dag = ProofDAG(labels, {0: [1]}, 0)
+        with pytest.raises(InvalidProofDAG, match="leaf"):
+            dag.validate(PROGRAM, DB)
+
+    def test_unravel_preserves_support_and_validity(self):
+        tree = example3_simple().unravel()
+        assert tree.support() == example3_simple().support()
+        tree.validate(PROGRAM, DB)
+
+    def test_unravel_budget(self):
+        with pytest.raises(InvalidProofDAG, match="exceeds"):
+            example3_simple().unravel(max_nodes=2)
+
+    def test_is_unambiguous_and_nonrecursive(self):
+        dag = example3_simple()
+        assert dag.is_unambiguous()
+        assert dag.is_non_recursive()
+
+
+class TestCompressedDAG:
+    def closure(self):
+        return downward_closure(PROGRAM, DB, parse_atom("a(d)"))
+
+    def test_minimal_compressed_dag(self):
+        dag = CompressedDAG(
+            parse_atom("a(d)"),
+            {
+                parse_atom("a(d)"): frozenset(parse_database("t(a, a, d).")) | {parse_atom("a(a)")},
+                parse_atom("a(a)"): frozenset({parse_atom("s(a)")}),
+            },
+        )
+        dag.validate(PROGRAM, DB, expected_root=parse_atom("a(d)"))
+        assert dag.support() == frozenset(parse_database("s(a). t(a, a, d)."))
+
+    def test_cycle_rejected(self):
+        dag = CompressedDAG(
+            parse_atom("a(d)"),
+            {
+                parse_atom("a(d)"): frozenset({parse_atom("a(d)")}),
+            },
+        )
+        assert not dag.is_acyclic()
+        with pytest.raises(InvalidProofDAG):
+            dag.validate(PROGRAM, DB)
+
+    def test_unjustified_choice_rejected(self):
+        dag = CompressedDAG(
+            parse_atom("a(d)"),
+            {parse_atom("a(d)"): frozenset({parse_atom("s(a)")})},
+        )
+        with pytest.raises(InvalidProofDAG, match="no ground rule"):
+            dag.validate(PROGRAM, DB)
+
+    def test_unravel_is_unambiguous_proof_tree(self):
+        dag = CompressedDAG(
+            parse_atom("a(d)"),
+            {
+                parse_atom("a(d)"): frozenset({parse_atom("a(a)"), parse_atom("t(a, a, d)")}),
+                parse_atom("a(a)"): frozenset({parse_atom("s(a)")}),
+            },
+        )
+        tree = dag.unravel(PROGRAM)
+        tree.validate(PROGRAM, DB)
+        assert tree.is_unambiguous()
+        assert tree.support() == dag.support()
+
+    def test_to_proof_dag(self):
+        dag = CompressedDAG(
+            parse_atom("a(d)"),
+            {
+                parse_atom("a(d)"): frozenset({parse_atom("a(a)"), parse_atom("t(a, a, d)")}),
+                parse_atom("a(a)"): frozenset({parse_atom("s(a)")}),
+            },
+        )
+        proof_dag = dag.to_proof_dag(PROGRAM)
+        proof_dag.validate(PROGRAM, DB)
+        assert proof_dag.support() == dag.support()
+
+    def test_from_edges_rejects_duplicate_heads(self):
+        e1 = HyperEdge(parse_atom("a(a)"), frozenset({parse_atom("s(a)")}))
+        e2 = HyperEdge(
+            parse_atom("a(a)"),
+            frozenset({parse_atom("a(b)"), parse_atom("a(c)"), parse_atom("t(b, c, a)")}),
+        )
+        with pytest.raises(InvalidProofDAG, match="two hyperedges"):
+            compressed_dag_from_edges(parse_atom("a(a)"), [e1, e2])
+
+    def test_nodes_only_reachable(self):
+        dag = CompressedDAG(
+            parse_atom("a(a)"),
+            {
+                parse_atom("a(a)"): frozenset({parse_atom("s(a)")}),
+                # Unreachable choice should not pollute nodes/support.
+                parse_atom("a(b)"): frozenset({parse_atom("s(b)")}),
+            },
+        )
+        assert dag.nodes() == {parse_atom("a(a)"), parse_atom("s(a)")}
+        assert dag.support() == frozenset({parse_atom("s(a)")})

@@ -1,0 +1,154 @@
+"""Tests bridging the theory results to the executable artifacts.
+
+Each test class corresponds to a lemma/proposition of the paper and checks
+its computational content on concrete instances.
+"""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_atom, parse_database, parse_program
+from repro.datalog.program import DatalogQuery
+from repro.provenance.grounding import downward_closure, min_dag_depth
+from repro.provenance.proof_dag import CompressedDAG, ProofDAG
+from repro.provenance.proof_tree import ProofTree, ProofTreeNode
+
+PROGRAM = parse_program(
+    """
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+    """
+)
+QUERY = DatalogQuery(PROGRAM, "a")
+DB1 = Database(parse_database(
+    "s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a)."
+))
+
+TC = parse_program(
+    """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    """
+)
+
+
+class TestProposition5UnravellingDirection:
+    """(2) => (1): unravelling a proof DAG yields a proof tree with the
+    same support."""
+
+    def test_every_compressed_dag_choice_unravels(self):
+        closure = downward_closure(PROGRAM, DB1, parse_atom("a(d)"))
+        # Build the compressed DAG using the recursive derivation of a(a).
+        choice = {
+            parse_atom("a(d)"): frozenset({parse_atom("a(a)"), parse_atom("t(a, a, d)")}),
+            parse_atom("a(a)"): frozenset({
+                parse_atom("a(b)"), parse_atom("a(c)"), parse_atom("t(b, c, a)")
+            }),
+            parse_atom("a(b)"): frozenset({parse_atom("a2"), parse_atom("t(a, a, b)")}),
+        }
+        # a(b), a(c) derived from a second a(a) node is impossible in a
+        # compressed DAG (single node per fact) without a cycle:
+        # a(a) -> a(b) -> a(a). The SAT formula must therefore reject it.
+        choice[parse_atom("a(b)")] = frozenset({
+            parse_atom("a(a)"), parse_atom("t(a, a, b)")
+        })
+        dag = CompressedDAG(parse_atom("a(d)"), choice)
+        assert not dag.is_acyclic()
+
+    def test_dag_depth_lower_bounds_tree_depth(self):
+        db = Database(parse_database("e(a, b). e(b, c)."))
+        closure = downward_closure(TC, db, parse_atom("tc(a, c)"))
+        dag = CompressedDAG(
+            parse_atom("tc(a, c)"),
+            {
+                parse_atom("tc(a, c)"): frozenset({
+                    parse_atom("tc(a, b)"), parse_atom("e(b, c)")
+                }),
+                parse_atom("tc(a, b)"): frozenset({parse_atom("e(a, b)")}),
+            },
+        )
+        tree = dag.unravel(TC)
+        assert tree.depth() == dag.to_proof_dag(TC).depth() == 2
+
+
+class TestLemma29RankEqualsMinDagDepth:
+    @pytest.mark.parametrize(
+        "edges,fact,expected",
+        [
+            ("e(a, b).", "tc(a, b)", 1),
+            ("e(a, b). e(b, c).", "tc(a, c)", 2),
+            ("e(a, b). e(b, c). e(a, c).", "tc(a, c)", 1),
+            ("e(a, a).", "tc(a, a)", 1),
+        ],
+    )
+    def test_rank(self, edges, fact, expected):
+        db = Database(parse_database(edges))
+        assert min_dag_depth(TC, db, parse_atom(fact)) == expected
+
+    def test_rank_bounds_all_proof_dags(self):
+        """No proof DAG can be shallower than the rank."""
+        db = Database(parse_database("e(a, b). e(b, c)."))
+        target = parse_atom("tc(a, c)")
+        rank = min_dag_depth(TC, db, target)
+        # The only derivations go through tc(a, b): depth exactly 2.
+        labels = {0: target, 1: parse_atom("tc(a, b)"), 2: parse_atom("e(a, b)"),
+                  3: parse_atom("e(b, c)")}
+        dag = ProofDAG(labels, {0: [1, 3], 1: [2]}, 0)
+        dag.validate(TC, db)
+        assert dag.depth() >= rank
+
+
+class TestUnambiguousImpliesNonRecursive:
+    """Every unambiguous proof tree is non-recursive (used in Section 5)."""
+
+    def test_on_generated_trees(self):
+        from repro.provenance.enumerate import enumerate_why_unambiguous
+        from repro.core.encoder import encode_why_provenance
+        from repro.sat.solver import CDCLSolver
+
+        for tup in (("d",), ("a",), ("b",)):
+            encoding = encode_why_provenance(QUERY, DB1, tup)
+            solver = CDCLSolver()
+            solver.add_cnf(encoding.cnf)
+            while solver.solve():
+                model = solver.model()
+                tree = encoding.decode_compressed_dag(model).unravel(PROGRAM)
+                assert tree.is_unambiguous()
+                assert tree.is_non_recursive()
+                blocking = [
+                    (-v if model[v] else v)
+                    for v in encoding.database_fact_vars.values()
+                ]
+                if not solver.add_clause(blocking):
+                    break
+
+
+class TestSupportSubsetObservation:
+    """A proof tree w.r.t. D with support D' is a proof tree w.r.t. D'."""
+
+    def test_restriction(self):
+        leaf_s = ProofTreeNode(parse_atom("s(a)"))
+        a_a1 = ProofTreeNode(parse_atom("a(a)"), [leaf_s])
+        a_a2 = ProofTreeNode(parse_atom("a(a)"), [ProofTreeNode(parse_atom("s(a)"))])
+        tree = ProofTree(ProofTreeNode(
+            parse_atom("a(d)"), [a_a1, a_a2, ProofTreeNode(parse_atom("t(a, a, d)"))]
+        ))
+        support = tree.support()
+        tree.validate(PROGRAM, DB1)
+        tree.validate(PROGRAM, Database(support))  # still valid on D' alone
+
+
+class TestScountBoundsFromLemmas:
+    def test_scount_one_iff_unambiguous(self):
+        from repro.provenance.enumerate import enumerate_why_unambiguous
+
+        leaf_s = ProofTreeNode(parse_atom("s(a)"))
+        a_a = ProofTreeNode(parse_atom("a(a)"), [leaf_s])
+        a_a2 = ProofTreeNode(parse_atom("a(a)"), [ProofTreeNode(parse_atom("s(a)"))])
+        tree = ProofTree(ProofTreeNode(
+            parse_atom("a(d)"), [a_a, a_a2, ProofTreeNode(parse_atom("t(a, a, d)"))]
+        ))
+        assert tree.is_unambiguous()
+        assert tree.scount() == 1

@@ -1,0 +1,180 @@
+"""Unit tests for proof trees (Definition 1) and their refinements."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_database, parse_program
+from repro.provenance.proof_tree import (
+    InvalidProofTree,
+    ProofTree,
+    ProofTreeNode,
+    is_minimal_depth,
+    min_tree_depth,
+)
+
+# The paper's running example (Example 1): path accessibility.
+PROGRAM = parse_program(
+    """
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+    """
+)
+DB = Database(parse_database(
+    "s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a)."
+))
+
+
+def leaf(text: str) -> ProofTreeNode:
+    from repro.datalog.parser import parse_atom
+
+    return ProofTreeNode(parse_atom(text))
+
+
+def node(fact_text: str, children) -> ProofTreeNode:
+    from repro.datalog.parser import parse_atom
+
+    return ProofTreeNode(parse_atom(fact_text), children)
+
+
+def simple_tree() -> ProofTree:
+    """The first proof tree of Example 1: A(d) from S(a), T(a,a,d)."""
+    a_a = node("a(a)", [leaf("s(a)")])
+    a_a2 = node("a(a)", [leaf("s(a)")])
+    return ProofTree(node("a(d)", [a_a, a_a2, leaf("t(a, a, d)")]))
+
+
+def complex_tree() -> ProofTree:
+    """The second proof tree of Example 1 (A(a) derived from itself)."""
+    def a_of_a():
+        return node("a(a)", [leaf("s(a)")])
+
+    a_b = node("a(b)", [a_of_a(), a_of_a(), leaf("t(a, a, b)")])
+    a_c = node("a(c)", [a_of_a(), a_of_a(), leaf("t(a, a, c)")])
+    inner_a = node("a(a)", [a_b, a_c, leaf("t(b, c, a)")])
+    return ProofTree(node("a(d)", [a_of_a(), inner_a, leaf("t(a, a, d)")]))
+
+
+class TestStructure:
+    def test_support_simple(self):
+        assert simple_tree().support() == frozenset(
+            parse_database("s(a). t(a, a, d).")
+        )
+
+    def test_support_complex_is_whole_database(self):
+        assert complex_tree().support() == DB.facts()
+
+    def test_depth(self):
+        assert simple_tree().depth() == 2
+        assert complex_tree().depth() == 4
+
+    def test_size_and_leaves(self):
+        tree = simple_tree()
+        assert tree.size() == 6
+        assert len(list(tree.leaves())) == 3
+
+    def test_single_leaf_tree(self):
+        tree = ProofTree.leaf(Atom("s", ("a",)))
+        assert tree.depth() == 0
+        assert tree.support() == frozenset({Atom("s", ("a",))})
+
+
+class TestValidation:
+    def test_valid_trees(self):
+        simple_tree().validate(PROGRAM, DB, expected_root=Atom("a", ("d",)))
+        complex_tree().validate(PROGRAM, DB)
+
+    def test_wrong_root(self):
+        with pytest.raises(InvalidProofTree, match="root"):
+            simple_tree().validate(PROGRAM, DB, expected_root=Atom("a", ("b",)))
+
+    def test_leaf_not_in_database(self):
+        tree = ProofTree(node("a(z)", [leaf("s(z)")]))
+        assert not tree.is_valid(PROGRAM, DB)
+
+    def test_unjustified_internal_node(self):
+        tree = ProofTree(node("a(d)", [leaf("s(a)")]))  # wrong rule shape
+        with pytest.raises(InvalidProofTree, match="no rule"):
+            tree.validate(PROGRAM, DB)
+
+    def test_children_order_matters_for_rule_matching(self):
+        # t-atom must be the third child per the rule.
+        a_a = node("a(a)", [leaf("s(a)")])
+        bad = ProofTree(node("a(d)", [leaf("t(a, a, d)"), a_a, node("a(a)", [leaf("s(a)")])]))
+        assert not bad.is_valid(PROGRAM, DB)
+
+
+class TestIsomorphism:
+    def test_isomorphic_trees(self):
+        assert simple_tree().is_isomorphic(simple_tree())
+        assert not simple_tree().is_isomorphic(complex_tree())
+
+    def test_isomorphism_ignores_child_order(self):
+        t1 = ProofTree(node("p(a)", [leaf("q(a)"), leaf("r(a)")]))
+        t2 = ProofTree(node("p(a)", [leaf("r(a)"), leaf("q(a)")]))
+        assert t1.is_isomorphic(t2)
+
+
+class TestSubtreeCount:
+    def test_scount_simple(self):
+        assert simple_tree().scount() == 1
+
+    def test_scount_complex(self):
+        # a(a) occurs with two different subtrees (leaf-derived and t-derived).
+        assert complex_tree().scount() == 2
+
+
+class TestRefinedClasses:
+    def test_simple_tree_all_classes(self):
+        tree = simple_tree()
+        assert tree.is_non_recursive()
+        assert tree.is_unambiguous()
+        assert is_minimal_depth(tree, PROGRAM, DB)
+
+    def test_complex_tree_is_recursive_and_ambiguous(self):
+        tree = complex_tree()
+        assert not tree.is_non_recursive()  # a(a) derived from itself
+        assert not tree.is_unambiguous()
+        assert not is_minimal_depth(tree, PROGRAM, DB)
+
+    def test_unambiguous_implies_nonrecursive(self):
+        # Example 4 database: ambiguous but non-recursive tree.
+        db4 = Database(parse_database(
+            "s(a). s(b). t(a, a, c). t(b, b, c). t(c, c, d)."
+        ))
+        def a_via(src):
+            base = node(f"a({src})", [leaf(f"s({src})")])
+            base2 = node(f"a({src})", [leaf(f"s({src})")])
+            return node("a(c)", [base, base2, leaf(f"t({src}, {src}, c)")])
+        tree = ProofTree(node("a(d)", [a_via("a"), a_via("b"), leaf("t(c, c, d)")]))
+        tree.validate(PROGRAM, db4)
+        assert tree.is_non_recursive()
+        assert not tree.is_unambiguous()
+
+
+class TestMinTreeDepth:
+    def test_matches_rank(self):
+        assert min_tree_depth(PROGRAM, DB, Atom("a", ("a",))) == 1
+        assert min_tree_depth(PROGRAM, DB, Atom("a", ("d",))) == 2
+
+    def test_underivable_fact(self):
+        with pytest.raises(ValueError):
+            min_tree_depth(PROGRAM, DB, Atom("a", ("zzz",)))
+
+
+class TestDerive:
+    def test_derive_checks_body(self):
+        from repro.datalog.rules import GroundRule
+
+        rule = PROGRAM.rules[0]
+        ground = rule.instantiate({next(iter(rule.head.variables())): "a"})
+        tree = ProofTree.derive(ground, [ProofTree.leaf(Atom("s", ("a",)))])
+        assert tree.root.fact == Atom("a", ("a",))
+        with pytest.raises(ValueError):
+            ProofTree.derive(ground, [ProofTree.leaf(Atom("s", ("b",)))])
+        with pytest.raises(ValueError):
+            ProofTree.derive(ground, [])
+
+    def test_pretty_output(self):
+        text = simple_tree().pretty()
+        assert "a(d)" in text and "s(a)" in text

@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Random Datalog instances are drawn from two controlled families — chain /
+DAG graphs under the transitive-closure program, and random instances of
+the path-accessibility program — small enough that the exponential oracles
+terminate, rich enough to exercise cycles, sharing and ambiguity.
+"""
+
+import random as stdlib_random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.program import DatalogQuery
+from repro.datalog.engine import evaluate, stage_sets
+from repro.provenance.enumerate import why_families
+from repro.provenance.grounding import downward_closure
+from repro.core.decision import decide_why_unambiguous
+from repro.core.enumerator import why_provenance_unambiguous
+from repro.sat.acyclicity import (
+    arcs_are_acyclic,
+    encode_transitive_closure,
+    encode_vertex_elimination,
+)
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+from repro.sat.solver import CDCLSolver, solve_cnf
+
+TC = parse_program(
+    """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    """
+)
+TC_QUERY = DatalogQuery(TC, "tc")
+
+PA = parse_program(
+    """
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+    """
+)
+PA_QUERY = DatalogQuery(PA, "a")
+
+NODES = ["a", "b", "c", "d"]
+
+edges_strategy = st.lists(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+    min_size=1,
+    max_size=7,
+    unique=True,
+)
+
+
+def tc_database(edges):
+    return Database(Atom("e", (u, v)) for u, v in edges if u != v)
+
+
+pa_strategy = st.fixed_dictionaries(
+    {
+        "sources": st.lists(st.sampled_from(NODES), min_size=1, max_size=2, unique=True),
+        "triples": st.lists(
+            st.tuples(
+                st.sampled_from(NODES), st.sampled_from(NODES), st.sampled_from(NODES)
+            ),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+    }
+)
+
+
+def pa_database(spec):
+    db = Database()
+    for s in spec["sources"]:
+        db.add(Atom("s", (s,)))
+    for y, z, x in spec["triples"]:
+        db.add(Atom("t", (y, z, x)))
+    return db
+
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestEngineProperties:
+    @given(edges=edges_strategy)
+    @common_settings
+    def test_naive_and_seminaive_agree(self, edges):
+        db = tc_database(edges)
+        naive = evaluate(TC, db, method="naive")
+        semi = evaluate(TC, db, method="seminaive")
+        assert naive.model == semi.model
+        assert naive.ranks == semi.ranks
+
+    @given(edges=edges_strategy)
+    @common_settings
+    def test_rank_is_first_stage(self, edges):
+        db = tc_database(edges)
+        result = evaluate(TC, db)
+        stages = stage_sets(TC, db)
+        for fact, rank in result.ranks.items():
+            assert fact in stages[min(rank, len(stages) - 1)]
+            if rank > 0:
+                assert fact not in stages[rank - 1]
+
+    @given(spec=pa_strategy)
+    @common_settings
+    def test_model_facts_have_closures(self, spec):
+        db = pa_database(spec)
+        result = evaluate(PA, db)
+        for fact in result.model.relation("a"):
+            closure = downward_closure(PA, db, fact, evaluation=result)
+            assert closure.root == fact
+            assert closure.nodes <= result.model.facts()
+
+
+class TestProvenanceProperties:
+    @given(spec=pa_strategy)
+    @common_settings
+    def test_family_containments(self, spec):
+        db = pa_database(spec)
+        result = evaluate(PA, db)
+        facts = sorted(result.model.relation("a"), key=str)[:2]
+        for fact in facts:
+            families = why_families(PA_QUERY, db, fact.args)
+            assert families["whyUN"] <= families["whyNR"] <= families["why"]
+            assert families["whyMD"] <= families["why"]
+            assert families["whyUN"], "an answer always has an unambiguous tree"
+            for member in families["why"]:
+                assert member <= db.facts()
+
+    @given(spec=pa_strategy)
+    @common_settings
+    def test_sat_pipeline_matches_oracle(self, spec):
+        db = pa_database(spec)
+        result = evaluate(PA, db)
+        facts = sorted(result.model.relation("a"), key=str)[:2]
+        for fact in facts:
+            families = why_families(PA_QUERY, db, fact.args)
+            sat_family = why_provenance_unambiguous(PA_QUERY, db, fact.args)
+            assert sat_family == families["whyUN"]
+
+    @given(spec=pa_strategy)
+    @common_settings
+    def test_membership_decider_consistent_with_enumeration(self, spec):
+        db = pa_database(spec)
+        result = evaluate(PA, db)
+        facts = sorted(result.model.relation("a"), key=str)[:1]
+        for fact in facts:
+            family = why_provenance_unambiguous(PA_QUERY, db, fact.args)
+            for member in family:
+                assert decide_why_unambiguous(PA_QUERY, db, fact.args, member)
+            assert not decide_why_unambiguous(PA_QUERY, db, fact.args, frozenset())
+
+    @given(edges=edges_strategy)
+    @common_settings
+    def test_minimal_depth_members_exist(self, edges):
+        db = tc_database(edges)
+        if not len(db):
+            return
+        result = evaluate(TC, db)
+        facts = sorted(result.model.relation("tc"), key=str)[:2]
+        for fact in facts:
+            families = why_families(TC_QUERY, db, fact.args)
+            assert families["whyMD"], "the minimal-depth tree always exists"
+
+
+class TestSatProperties:
+    @given(
+        clauses=st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=6).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=18,
+        )
+    )
+    @common_settings
+    def test_cdcl_agrees_with_dpll(self, clauses):
+        cnf = CNF(6)
+        for clause in clauses:
+            cnf.add_clause(tuple(clause))
+        model = solve_cnf(cnf)
+        dpll = solve_dpll(cnf)
+        assert (model is None) == (dpll is None)
+        if model is not None:
+            assert cnf.evaluate(model)
+
+    @given(
+        arcs=st.lists(
+            st.tuples(st.sampled_from("uvwx"), st.sampled_from("uvwx")),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        ),
+        selector=st.integers(min_value=0, max_value=255),
+    )
+    @common_settings
+    def test_acyclicity_encodings_match_oracle(self, arcs, selector):
+        selection = {arc for i, arc in enumerate(arcs) if selector & (1 << i)}
+        expected = arcs_are_acyclic(sorted(selection))
+        for encoder in (encode_transitive_closure, encode_vertex_elimination):
+            cnf = CNF()
+            arc_vars = {arc: cnf.new_var() for arc in arcs}
+            encoder(cnf, arc_vars)
+            solver = CDCLSolver()
+            solver.add_cnf(cnf)
+            assumptions = [
+                (var if arc in selection else -var)
+                for arc, var in arc_vars.items()
+            ]
+            assert bool(solver.solve(assumptions=assumptions)) == expected

@@ -1,0 +1,188 @@
+"""End-to-end validation of the paper's hardness reductions.
+
+Each reduction is checked on random instances against a classical oracle
+(brute-force 3SAT / Hamiltonian cycle), exercising the deciders on
+adversarial inputs at the same time.
+"""
+
+import pytest
+
+from repro.core.decision import (
+    decide_why,
+    decide_why_minimal_depth,
+    decide_why_nonrecursive,
+)
+from repro.datalog.atoms import Atom
+from repro.reductions.hamiltonian import (
+    brute_force_hamiltonian_cycle,
+    hamiltonian_database,
+    hamiltonian_instance,
+    hamiltonian_query,
+    random_digraph,
+)
+from repro.reductions.minimal_depth import (
+    minimal_depth_instance,
+    minimal_depth_query,
+    uniform_proof_depth,
+)
+from repro.reductions.three_sat import (
+    brute_force_3sat,
+    random_3cnf,
+    three_sat_database,
+    three_sat_instance,
+    three_sat_query,
+)
+
+
+class TestThreeSatQueryShape:
+    def test_fixed_query_is_linear(self):
+        query = three_sat_query()
+        assert query.is_linear()
+        assert not query.is_non_recursive()
+        assert len(query.program.rules) == 8
+        assert query.classify() == "LDat"
+
+    def test_database_size_polynomial(self):
+        clauses = [(1, 2, 3), (-1, -2, 3)]
+        db = three_sat_database(clauses, 3)
+        # Var x3, Next x3, Last x1, C x2.
+        assert len(db) == 3 + 3 + 1 + 2
+
+    def test_clause_validation(self):
+        with pytest.raises(ValueError):
+            three_sat_database([(1, 2)], 3)  # not 3 literals
+        with pytest.raises(ValueError):
+            three_sat_database([(1, 2, 9)], 3)  # literal out of range
+        with pytest.raises(ValueError):
+            three_sat_database([(1, 2, 0)], 3)  # zero literal
+
+
+class TestThreeSatEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_reduction_correct(self, seed):
+        clauses = random_3cnf(4, 5 + (seed % 3), seed=seed)
+        query, db, tup = three_sat_instance(clauses, 4)
+        expected = brute_force_3sat(clauses, 4) is not None
+        assert decide_why(query, db, tup, db.facts()) == expected
+
+    def test_unsatisfiable_core(self):
+        # (x) & (!x) in all eight sign combinations of three vars: UNSAT.
+        clauses = [
+            (1, 2, 3), (1, 2, -3), (1, -2, 3), (1, -2, -3),
+            (-1, 2, 3), (-1, 2, -3), (-1, -2, 3), (-1, -2, -3),
+        ]
+        assert brute_force_3sat(clauses, 3) is None
+        query, db, tup = three_sat_instance(clauses, 3)
+        assert not decide_why(query, db, tup, db.facts())
+
+    def test_trivially_satisfiable(self):
+        clauses = [(1, 2, 3)]
+        query, db, tup = three_sat_instance(clauses, 3)
+        assert decide_why(query, db, tup, db.facts())
+
+
+class TestHamiltonianQueryShape:
+    def test_fixed_query_is_linear(self):
+        query = hamiltonian_query()
+        assert query.is_linear()
+        assert len(query.program.rules) == 4
+        assert query.answer_predicate == "Path"
+
+    def test_database_encoding(self):
+        db = hamiltonian_database(["u", "v"], [("u", "v"), ("v", "u")])
+        assert Atom("First", (1,)) in db
+        assert Atom("E", ("u", "v", 1, 2, 3)) in db
+        assert Atom("E", ("v", "u", 2, 3, 3)) in db
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            hamiltonian_database(["u"], [("u", "w")])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            hamiltonian_instance([], [])
+
+
+class TestHamiltonianEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reduction_correct(self, seed):
+        nodes, edges = random_digraph(
+            4, 0.35, seed=seed, ensure_cycle=(seed % 2 == 0)
+        )
+        query, db, tup = hamiltonian_instance(nodes, edges)
+        expected = brute_force_hamiltonian_cycle(nodes, edges) is not None
+        assert decide_why_nonrecursive(query, db, tup, db.facts()) == expected
+
+    def test_explicit_cycle(self):
+        nodes = ["a", "b", "c"]
+        edges = [("a", "b"), ("b", "c"), ("c", "a")]
+        query, db, tup = hamiltonian_instance(nodes, edges)
+        assert decide_why_nonrecursive(query, db, tup, db.facts())
+
+    def test_path_without_cycle(self):
+        nodes = ["a", "b", "c"]
+        edges = [("a", "b"), ("b", "c")]
+        query, db, tup = hamiltonian_instance(nodes, edges)
+        assert brute_force_hamiltonian_cycle(nodes, edges) is None
+        assert not decide_why_nonrecursive(query, db, tup, db.facts())
+
+    def test_start_node_immaterial(self):
+        nodes = ["a", "b", "c"]
+        edges = [("a", "b"), ("b", "c"), ("c", "a")]
+        for start in nodes:
+            query, db, tup = hamiltonian_instance(nodes, edges, start=start)
+            assert decide_why_nonrecursive(query, db, tup, db.facts())
+
+
+class TestMinimalDepthReduction:
+    def test_fixed_query_is_linear(self):
+        query = minimal_depth_query()
+        assert query.is_linear()
+        assert len(query.program.rules) == 10
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reduction_correct(self, seed):
+        clauses = random_3cnf(3, 3, seed=seed)
+        query, db, tup = minimal_depth_instance(clauses, 3)
+        expected = brute_force_3sat(clauses, 3) is not None
+        assert decide_why_minimal_depth(query, db, tup, db.facts()) == expected
+
+    def test_lemma35_uniform_depth(self):
+        """All proof trees of R(v1) have depth n*(m+2)+1."""
+        from repro.datalog.engine import evaluate
+        from repro.provenance.grounding import downward_closure
+
+        clauses = [(1, 2, 3)]
+        query, db, tup = minimal_depth_instance(clauses, 3)
+        evaluation = evaluate(query.program, db)
+        fact = query.answer_atom(tup)
+        assert fact in evaluation.model
+        assert evaluation.ranks[fact] == uniform_proof_depth(3, 1)
+
+    def test_agrees_with_plain_membership(self):
+        """On this construction whyMD membership == why membership."""
+        for seed in range(3):
+            clauses = random_3cnf(3, 2, seed=seed + 40)
+            query, db, tup = minimal_depth_instance(clauses, 3)
+            md = decide_why_minimal_depth(query, db, tup, db.facts())
+            plain = decide_why(query, db, tup, db.facts())
+            assert md == plain
+
+
+class TestRandomGenerators:
+    def test_random_3cnf_shape(self):
+        clauses = random_3cnf(6, 10, seed=3)
+        assert len(clauses) == 10
+        for clause in clauses:
+            variables = {abs(l) for l in clause}
+            assert len(variables) == 3
+
+    def test_random_3cnf_deterministic(self):
+        assert random_3cnf(5, 8, seed=9) == random_3cnf(5, 8, seed=9)
+
+    def test_random_digraph_planted_cycle(self):
+        nodes, edges = random_digraph(5, 0.0, seed=1, ensure_cycle=True)
+        assert brute_force_hamiltonian_cycle(nodes, edges) is not None
+
+    def test_random_digraph_deterministic(self):
+        assert random_digraph(5, 0.3, seed=2) == random_digraph(5, 0.3, seed=2)

@@ -1,0 +1,112 @@
+"""Tests for the Table-1 scenario registry and generators."""
+
+import pytest
+
+from repro.datalog.engine import evaluate
+from repro.scenarios import all_scenarios, get_scenario
+from repro.scenarios.andersen import andersen_database, andersen_query
+from repro.scenarios.csda import csda_database, csda_query
+from repro.scenarios.doctors import doctors_database, doctors_query
+from repro.scenarios.galen import galen_like_database, galen_query
+from repro.scenarios.transclosure import (
+    bitcoin_like_database,
+    facebook_like_database,
+    transclosure_query,
+)
+
+
+class TestRegistry:
+    def test_all_scenarios_present(self):
+        names = {s.name for s in all_scenarios()}
+        expected = {"TransClosure", "Galen", "Andersen", "CSDA"} | {
+            f"Doctors-{i}" for i in range(1, 8)
+        }
+        assert expected <= names
+
+    def test_get_scenario(self):
+        scenario = get_scenario("TransClosure")
+        assert scenario.database_names() == ["bitcoin", "facebook"]
+        with pytest.raises(KeyError):
+            get_scenario("nope")
+        with pytest.raises(KeyError):
+            scenario.database("nope")
+
+
+class TestTable1Classification:
+    """The query type and rule counts of Table 1 must hold exactly."""
+
+    def test_transclosure(self):
+        query = transclosure_query()
+        assert len(query.program.rules) == 2
+        assert query.is_linear() and not query.is_non_recursive()
+
+    @pytest.mark.parametrize("variant", range(1, 8))
+    def test_doctors(self, variant):
+        query = doctors_query(variant)
+        assert len(query.program.rules) == 6
+        assert query.is_linear() and query.is_non_recursive()
+
+    def test_doctors_variant_range(self):
+        with pytest.raises(ValueError):
+            doctors_query(8)
+
+    def test_galen(self):
+        query = galen_query()
+        assert len(query.program.rules) == 14
+        assert not query.is_linear() and not query.is_non_recursive()
+
+    def test_andersen(self):
+        query = andersen_query()
+        assert len(query.program.rules) == 4
+        assert not query.is_linear() and not query.is_non_recursive()
+
+    def test_csda(self):
+        query = csda_query()
+        assert len(query.program.rules) == 2
+        assert query.is_linear() and not query.is_non_recursive()
+
+
+class TestGeneratorsDeterministic:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: bitcoin_like_database(num_nodes=40, seed=3),
+            lambda: facebook_like_database(num_circles=3, circle_size=4, seed=3),
+            lambda: doctors_database(num_doctors=10, num_patients=12, seed=3),
+            lambda: galen_like_database(num_classes=12, seed=3),
+            lambda: andersen_database(num_vars=20, num_statements=40, seed=3),
+            lambda: csda_database(num_nodes=50, seed=3),
+        ],
+    )
+    def test_same_seed_same_database(self, factory):
+        assert factory().facts() == factory().facts()
+
+
+class TestGeneratorsProduceAnswers:
+    """Every scenario must actually yield answers so tuples can be sampled."""
+
+    @pytest.mark.parametrize(
+        "query,db",
+        [
+            (transclosure_query(), bitcoin_like_database(num_nodes=40, seed=1)),
+            (transclosure_query(), facebook_like_database(num_circles=3, circle_size=4, seed=1)),
+            (doctors_query(2), doctors_database(num_doctors=10, num_patients=12, seed=1)),
+            (galen_query(), galen_like_database(num_classes=12, seed=1)),
+            (andersen_query(), andersen_database(num_vars=25, num_statements=50, seed=1)),
+            (csda_query(), csda_database(num_nodes=60, seed=1)),
+        ],
+    )
+    def test_nonempty_answers(self, query, db):
+        db = db.restrict(query.program.edb)
+        result = evaluate(query.program, db)
+        assert result.model.count(query.answer_predicate) > 0
+
+
+class TestSchemas:
+    def test_databases_cover_query_edb(self):
+        """Restricting a scenario db to edb(Sigma) keeps useful facts."""
+        for scenario in all_scenarios():
+            query = scenario.query()
+            for name in scenario.database_names():
+                db = scenario.database(name).restrict(query.program.edb)
+                assert len(db) > 0, (scenario.name, name)

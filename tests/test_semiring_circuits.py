@@ -1,0 +1,169 @@
+"""Provenance circuits: construction, sharing, evaluation, unfolding."""
+
+import pytest
+
+from repro.datalog import Database, DatalogQuery, parse_database, parse_program
+from repro.provenance import downward_closure, enumerate_why
+from repro.semiring import (
+    INFINITY,
+    BooleanSemiring,
+    CountingSemiring,
+    CyclicClosure,
+    TropicalSemiring,
+    WhySemiring,
+    circuit_from_closure,
+    count_proof_trees,
+    provenance_circuit,
+    semiring_provenance,
+    unfolded_circuit,
+)
+from repro.semiring.circuits import INPUT, PLUS, TIMES
+
+
+def _pap():
+    program = parse_program(
+        """
+        a(X) :- s(X).
+        a(X) :- a(Y), a(Z), t(Y, Z, X).
+        """
+    )
+    query = DatalogQuery(program, "a")
+    database = Database(
+        parse_database("s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a).")
+    )
+    return query, database
+
+
+def _diamond():
+    """Non-recursive program whose closure shares a sub-derivation."""
+    program = parse_program(
+        """
+        mid(X) :- base(X).
+        left(X) :- mid(X), lfl(X).
+        right(X) :- mid(X), rfl(X).
+        top(X) :- left(X), right(X).
+        """
+    )
+    query = DatalogQuery(program, "top")
+    database = Database(parse_database("base(a). lfl(a). rfl(a)."))
+    return query, database
+
+
+def test_acyclic_circuit_matches_equations_in_every_semiring():
+    query, database = _diamond()
+    circuit = provenance_circuit(query, database, ("a",))
+    for ring in (BooleanSemiring(), CountingSemiring(), TropicalSemiring(), WhySemiring()):
+        assert ring.equal(
+            circuit.evaluate(ring),
+            semiring_provenance(query, database, ("a",), ring),
+        )
+
+
+def test_circuit_shares_common_subderivations():
+    query, database = _diamond()
+    circuit = provenance_circuit(query, database, ("a",))
+    # mid(a)/base(a) feeds both left and right, but appears once.
+    input_gates = [gate for gate in circuit.gates if gate.kind == INPUT]
+    assert len(input_gates) == 3
+    assert set(circuit.inputs()) == database.facts()
+
+
+def test_circuit_gate_kinds_and_topology():
+    query, database = _diamond()
+    circuit = provenance_circuit(query, database, ("a",))
+    for index, gate in enumerate(circuit.gates):
+        assert gate.kind in (INPUT, PLUS, TIMES)
+        for child in gate.children:
+            assert child < index  # children precede parents
+    assert 0 <= circuit.output < circuit.size()
+    assert circuit.depth() >= 2
+
+
+def test_cyclic_closure_is_rejected():
+    query, database = _pap()
+    with pytest.raises(CyclicClosure):
+        provenance_circuit(query, database, ("d",))
+
+
+def test_unfolded_circuit_counts_grow_with_height():
+    query, database = _pap()
+    counts = [count_proof_trees(query, database, ("d",), height) for height in range(2, 9)]
+    assert counts[0] >= 1
+    assert all(b >= a for a, b in zip(counts, counts[1:]))
+    assert counts[-1] > counts[0]  # Example 1: infinitely many proof trees
+
+
+def test_unfolded_circuit_zero_below_rank():
+    query, database = _pap()
+    # A(d) needs height 2 (A(d) <- A(a), A(a), T with A(a) <- S(a)).
+    assert count_proof_trees(query, database, ("d",), 1) == 0
+    assert count_proof_trees(query, database, ("d",), 2) >= 1
+
+
+def test_unfolded_circuit_why_converges_to_full_why():
+    query, database = _pap()
+    fact = query.answer_atom(("d",))
+    closure = downward_closure(query.program, database, fact)
+    ring = WhySemiring()
+    deep = unfolded_circuit(closure, database, 12).evaluate(ring)
+    assert deep == enumerate_why(query, database, ("d",))
+    shallow = unfolded_circuit(closure, database, 2).evaluate(ring)
+    assert shallow < deep  # only the small support fits in height 2
+
+
+def test_unfolded_circuit_boolean_matches_rank_threshold():
+    query, database = _pap()
+    fact = query.answer_atom(("d",))
+    closure = downward_closure(query.program, database, fact)
+    ring = BooleanSemiring()
+    assert unfolded_circuit(closure, database, 1).evaluate(ring) is False
+    assert unfolded_circuit(closure, database, 2).evaluate(ring) is True
+
+
+def test_unfolded_circuit_rejects_negative_height():
+    query, database = _pap()
+    fact = query.answer_atom(("d",))
+    closure = downward_closure(query.program, database, fact)
+    with pytest.raises(ValueError):
+        unfolded_circuit(closure, database, -1)
+
+
+def test_count_proof_trees_of_non_answer_is_zero():
+    query, database = _diamond()
+    assert count_proof_trees(query, database, ("zzz",), 5) == 0
+
+
+def test_acyclic_circuit_on_copy_rule():
+    program = parse_program("p(X) :- q(X).")
+    query = DatalogQuery(program, "p")
+    database = Database(parse_database("q(a)."))
+    circuit = provenance_circuit(query, database, ("a",))
+    # One input gate; the unary plus/times collapse into it.
+    assert circuit.size() == 1
+    assert circuit.evaluate(CountingSemiring()) == 1
+
+
+def test_transitive_closure_chain_counts_paths():
+    program = parse_program(
+        """
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    )
+    query = DatalogQuery(program, "t")
+    database = Database(parse_database("e(a, b). e(b, c). e(a, c)."))
+    # t(a, c) has two derivations: direct edge, and a -> b -> c.
+    circuit = provenance_circuit(query, database, ("a", "c"))
+    assert circuit.evaluate(CountingSemiring()) == 2
+    assert circuit.evaluate(TropicalSemiring()) == 1  # the direct edge
+    why = circuit.evaluate(WhySemiring())
+    assert why == enumerate_why(query, database, ("a", "c"))
+
+
+def test_counting_semiring_saturation_matches_unbounded_growth():
+    """kleene saturation (INFINITY) iff circuit counts keep growing."""
+    query, database = _pap()
+    assert semiring_provenance(query, database, ("d",), CountingSemiring()) == INFINITY
+    low = count_proof_trees(query, database, ("d",), 6)
+    high = count_proof_trees(query, database, ("d",), 10)
+    assert high > low

@@ -1,0 +1,224 @@
+"""Equation-system provenance vs. the paper's oracles.
+
+The headline checks: solving the downward-closure equation system in the
+why semiring reproduces ``why(t, D, Q)`` exactly (Definition 2, validated
+against the brute-force oracle), and every coarser semiring agrees with
+the corresponding specialization.
+"""
+
+import pytest
+
+from repro.datalog import Database, DatalogQuery, parse_database, parse_program
+from repro.datalog.engine import answers, evaluate
+from repro.provenance import (
+    downward_closure,
+    enumerate_why,
+    enumerate_why_unambiguous,
+)
+from repro.semiring import (
+    INFINITY,
+    BooleanSemiring,
+    CountingSemiring,
+    DivergentSystem,
+    LineageSemiring,
+    MinWhySemiring,
+    PolynomialSemiring,
+    TropicalSemiring,
+    WhySemiring,
+    kleene_solve,
+    minimize_family,
+    polynomial_to_counting,
+    polynomial_to_why,
+    semiring_provenance,
+    system_from_closure,
+)
+
+
+def _pap():
+    """The paper's running example (path accessibility, Examples 1-3)."""
+    program = parse_program(
+        """
+        a(X) :- s(X).
+        a(X) :- a(Y), a(Z), t(Y, Z, X).
+        """
+    )
+    query = DatalogQuery(program, "a")
+    database = Database(
+        parse_database("s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a).")
+    )
+    return query, database
+
+
+def _nonrecursive_pair():
+    """A small non-recursive query with two independent witnesses."""
+    program = parse_program(
+        """
+        p(X) :- r(X, Y), s(Y).
+        out(X) :- p(X).
+        """
+    )
+    query = DatalogQuery(program, "out")
+    database = Database(parse_database("r(a, b). r(a, c). s(b). s(c)."))
+    return query, database
+
+
+def test_why_semiring_matches_oracle_on_running_example():
+    query, database = _pap()
+    value = semiring_provenance(query, database, ("d",), WhySemiring())
+    assert value == enumerate_why(query, database, ("d",))
+    # Example 2 spells the family out: the small support and D itself.
+    small = frozenset(parse_database("s(a). t(a, a, d)."))
+    assert value == frozenset({small, database.facts()})
+
+
+def test_why_semiring_matches_oracle_on_nonrecursive_query():
+    query, database = _nonrecursive_pair()
+    value = semiring_provenance(query, database, ("a",), WhySemiring())
+    assert value == enumerate_why(query, database, ("a",))
+    assert len(value) >= 2  # two independent witnesses plus their union
+
+
+def test_min_why_is_the_antichain_of_why():
+    query, database = _pap()
+    value = semiring_provenance(query, database, ("d",), MinWhySemiring())
+    oracle = minimize_family(enumerate_why(query, database, ("d",)))
+    assert value == oracle
+    small = frozenset(parse_database("s(a). t(a, a, d)."))
+    assert value == frozenset({small})
+
+
+def test_boolean_semiring_is_query_answering():
+    query, database = _pap()
+    ring = BooleanSemiring()
+    answer_tuples = answers(query, database)
+    for constant in ("a", "b", "c", "d"):
+        expected = (constant,) in answer_tuples
+        assert semiring_provenance(query, database, (constant,), ring) is expected
+
+
+def test_boolean_semiring_zero_for_non_answer():
+    query, database = _nonrecursive_pair()
+    assert semiring_provenance(query, database, ("b",), BooleanSemiring()) is False
+    assert semiring_provenance(query, database, ("b",), WhySemiring()) == frozenset()
+
+
+def test_counting_semiring_reports_infinity_on_recursion():
+    query, database = _pap()
+    # Example 1: A(d) has infinitely many proof trees (A(a) can be
+    # rederived through T(b, c, a) forever).
+    assert semiring_provenance(query, database, ("d",), CountingSemiring()) == INFINITY
+
+
+def test_counting_semiring_exact_on_nonrecursive():
+    query, database = _nonrecursive_pair()
+    # out(a) <- p(a), and p(a) has two derivations (via b and via c).
+    assert semiring_provenance(query, database, ("a",), CountingSemiring()) == 2
+
+
+def test_counting_acyclic_even_with_recursive_rules():
+    # Recursive program, but the data reaches no derivation cycle.
+    program = parse_program(
+        """
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    )
+    query = DatalogQuery(program, "t")
+    database = Database(parse_database("e(a, b). e(b, c)."))
+    assert semiring_provenance(query, database, ("a", "c"), CountingSemiring()) == 1
+
+
+def test_tropical_semiring_counts_cheapest_leaves():
+    query, database = _pap()
+    # The cheapest proof tree of A(d) has leaves S(a), S(a), T(a,a,d)
+    # (leaf multiplicity counts, matching proof-tree leaves).
+    assert semiring_provenance(query, database, ("d",), TropicalSemiring()) == 3
+    assert semiring_provenance(query, database, ("a",), TropicalSemiring()) == 1
+
+
+def test_tropical_with_custom_costs():
+    query, database = _nonrecursive_pair()
+    costs = {fact: (5 if "b" in repr(fact) else 1) for fact in database}
+    value = semiring_provenance(
+        query, database, ("a",), TropicalSemiring(), annotate=costs.__getitem__
+    )
+    # The witness through c costs 1 + 1; the one through b costs 5 + 5.
+    assert value == 2
+
+
+def test_lineage_is_union_of_why_members():
+    query, database = _pap()
+    value = semiring_provenance(query, database, ("d",), LineageSemiring())
+    oracle = frozenset().union(*enumerate_why(query, database, ("d",)))
+    assert value == oracle
+
+
+def test_polynomial_agrees_with_counting_and_why_on_nonrecursive():
+    query, database = _nonrecursive_pair()
+    value = semiring_provenance(query, database, ("a",), PolynomialSemiring())
+    assert polynomial_to_counting(value) == 2
+    assert polynomial_to_why(value) == enumerate_why(query, database, ("a",))
+
+
+def test_polynomial_raises_on_divergent_recursion():
+    query, database = _pap()
+    with pytest.raises(DivergentSystem):
+        semiring_provenance(query, database, ("d",), PolynomialSemiring())
+
+
+def test_system_from_closure_shape():
+    query, database = _pap()
+    closure = downward_closure(query.program, database, query.answer_atom(("d",)))
+    ring = WhySemiring()
+    system = system_from_closure(closure, database, ring)
+    assert system.root == query.answer_atom(("d",))
+    assert set(system.leaves) == set(closure.nodes & database.facts())
+    assert all(head not in database for head in system.equations)
+    assert system.size() >= len(system.equations)
+    assert set(system.unknowns()) == set(system.equations)
+
+
+def test_kleene_solve_assigns_zero_to_underivable():
+    program = parse_program("p(X) :- q(X), p(X).")
+    query = DatalogQuery(program, "p")
+    database = Database(parse_database("q(a)."))
+    # p(a) only derivable from itself: no proof tree exists.
+    assert semiring_provenance(query, database, ("a",), BooleanSemiring()) is False
+
+
+def test_single_rule_copy_query():
+    # The smallest possible closure: one rule instance, one leaf.
+    program = parse_program("p(X) :- q(X).")
+    query = DatalogQuery(program, "p")
+    database = Database(parse_database("q(a)."))
+    value = semiring_provenance(query, database, ("a",), WhySemiring())
+    assert value == frozenset({frozenset(parse_database("q(a)."))})
+
+
+def test_why_agreement_on_ambiguity_example():
+    """Example 4's database: why contains more members than whyUN."""
+    query, _ = _pap()
+    database = Database(
+        parse_database("s(a). s(b). t(a, a, c). t(b, b, c). t(c, c, d).")
+    )
+    why = semiring_provenance(query, database, ("d",), WhySemiring())
+    assert why == enumerate_why(query, database, ("d",))
+    why_un = enumerate_why_unambiguous(query, database, ("d",))
+    assert why_un <= why
+    # The whole database is a member of why (the ambiguous tree of
+    # Example 4) but not of whyUN.
+    assert database.facts() in why
+    assert database.facts() not in why_un
+
+
+def test_ranks_bound_the_kleene_rounds():
+    query, database = _pap()
+    result = evaluate(query.program, database)
+    closure = downward_closure(query.program, database, query.answer_atom(("d",)))
+    system = system_from_closure(closure, database, BooleanSemiring())
+    values = kleene_solve(system, BooleanSemiring())
+    for fact in closure.nodes:
+        if fact in database:
+            continue
+        assert values[fact] is True
+        assert result.ranks[fact] >= 1

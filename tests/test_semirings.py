@@ -1,0 +1,293 @@
+"""Semiring axioms and the algebra of provenance values."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import make_fact
+from repro.semiring import (
+    INFINITY,
+    SEMIRINGS,
+    BooleanSemiring,
+    CountingSemiring,
+    LineageSemiring,
+    MaxMinSemiring,
+    MinWhySemiring,
+    PolynomialSemiring,
+    TropicalSemiring,
+    ViterbiSemiring,
+    WhySemiring,
+    get_semiring,
+    minimize_family,
+    polynomial_to_counting,
+    polynomial_to_lineage,
+    polynomial_to_why,
+)
+
+FACTS = [make_fact("e", str(i)) for i in range(4)]
+
+# Exactly representable floats so that products associate exactly.
+_DYADIC = [0.0, 0.25, 0.5, 1.0]
+
+
+def _family(sets):
+    return frozenset(frozenset(FACTS[i] for i in indices) for indices in sets)
+
+
+def _value_strategy(name):
+    """A hypothesis strategy producing elements of the named semiring."""
+    if name == "boolean":
+        return st.booleans()
+    if name == "counting":
+        return st.sampled_from([0, 1, 2, 3, 7, INFINITY])
+    if name == "tropical":
+        return st.sampled_from([0, 1, 2, 5, INFINITY])
+    if name in ("viterbi", "max-min"):
+        return st.sampled_from(_DYADIC)
+    if name == "lineage":
+        subset = st.sets(st.sampled_from(FACTS), max_size=3).map(frozenset)
+        return st.one_of(st.just(None), subset)
+    if name in ("why", "min-why"):
+        subset = st.sets(st.sampled_from(FACTS), max_size=3).map(frozenset)
+        family = st.sets(subset, max_size=3).map(frozenset)
+        if name == "min-why":
+            return family.map(minimize_family)
+        return family
+    if name == "polynomial":
+        monomial = st.lists(
+            st.tuples(st.sampled_from(FACTS), st.integers(1, 2)),
+            max_size=2,
+            unique_by=lambda pair: repr(pair[0]),
+        ).map(lambda pairs: tuple(sorted(pairs, key=lambda p: repr(p[0]))))
+        term = st.tuples(monomial, st.integers(1, 3))
+        return st.lists(term, max_size=3, unique_by=lambda t: t[0]).map(frozenset)
+    raise AssertionError(name)
+
+
+AXIOM_CASES = sorted(SEMIRINGS)
+
+
+@pytest.mark.parametrize("name", AXIOM_CASES)
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_semiring_axioms(name, data):
+    semiring = get_semiring(name)
+    values = _value_strategy(name)
+    a = data.draw(values)
+    b = data.draw(values)
+    c = data.draw(values)
+    eq = semiring.equal
+    # plus: associative, commutative, identity zero
+    assert eq(semiring.plus(semiring.plus(a, b), c), semiring.plus(a, semiring.plus(b, c)))
+    assert eq(semiring.plus(a, b), semiring.plus(b, a))
+    assert eq(semiring.plus(a, semiring.zero()), a)
+    # times: associative, commutative, identity one, annihilator zero
+    assert eq(semiring.times(semiring.times(a, b), c), semiring.times(a, semiring.times(b, c)))
+    assert eq(semiring.times(a, b), semiring.times(b, a))
+    assert eq(semiring.times(a, semiring.one()), a)
+    assert eq(semiring.times(a, semiring.zero()), semiring.zero())
+    # distributivity
+    assert eq(
+        semiring.times(a, semiring.plus(b, c)),
+        semiring.plus(semiring.times(a, b), semiring.times(a, c)),
+    )
+    if semiring.idempotent_plus:
+        assert eq(semiring.plus(a, a), a)
+    if semiring.absorptive:
+        assert eq(semiring.plus(a, semiring.times(a, b)), a)
+
+
+def test_registry_contains_all_names():
+    assert set(SEMIRINGS) == {
+        "boolean",
+        "counting",
+        "tropical",
+        "viterbi",
+        "max-min",
+        "lineage",
+        "why",
+        "min-why",
+        "polynomial",
+    }
+
+
+def test_get_semiring_unknown_name():
+    with pytest.raises(ValueError, match="unknown semiring"):
+        get_semiring("galois")
+
+
+def test_boolean_truth_table():
+    ring = BooleanSemiring()
+    assert ring.plus(False, True) is True
+    assert ring.times(False, True) is False
+    assert ring.sum([]) is False
+    assert ring.product([]) is True
+
+
+def test_counting_infinity_is_absorbing_for_plus():
+    ring = CountingSemiring()
+    assert ring.plus(INFINITY, 7) == INFINITY
+    assert ring.times(INFINITY, 2) == INFINITY
+    assert ring.times(INFINITY, 0) == 0
+    assert ring.top() == INFINITY
+    assert math.isinf(ring.top())
+
+
+def test_tropical_defaults():
+    ring = TropicalSemiring()
+    assert ring.zero() == INFINITY
+    assert ring.one() == 0
+    assert ring.from_fact(FACTS[0]) == 1
+    assert ring.plus(3, 5) == 3
+    assert ring.times(3, 5) == 8
+
+
+def test_viterbi_and_maxmin_ranges():
+    viterbi = ViterbiSemiring()
+    maxmin = MaxMinSemiring()
+    assert viterbi.times(0.5, 0.5) == 0.25
+    assert maxmin.times(0.5, 0.25) == 0.25
+    assert maxmin.plus(0.5, 0.25) == 0.5
+
+
+def test_lineage_zero_is_distinguished_from_one():
+    ring = LineageSemiring()
+    assert ring.zero() is None
+    assert ring.one() == frozenset()
+    assert ring.plus(None, frozenset([FACTS[0]])) == frozenset([FACTS[0]])
+    assert ring.times(None, frozenset([FACTS[0]])) is None
+    assert ring.from_fact(FACTS[1]) == frozenset([FACTS[1]])
+
+
+def test_why_semiring_times_is_pairwise_union():
+    ring = WhySemiring()
+    left = _family([{0}, {1}])
+    right = _family([{2}])
+    assert ring.times(left, right) == _family([{0, 2}, {1, 2}])
+    assert ring.plus(left, right) == _family([{0}, {1}, {2}])
+    assert ring.from_fact(FACTS[3]) == _family([{3}])
+
+
+def test_why_semiring_keeps_non_minimal_members():
+    ring = WhySemiring()
+    family = _family([{0}, {0, 1}])
+    assert ring.plus(family, ring.zero()) == family
+
+
+def test_min_why_semiring_absorbs_supersets():
+    ring = MinWhySemiring()
+    assert ring.plus(_family([{0}]), _family([{0, 1}])) == _family([{0}])
+    # Pairwise unions give {"{0}", "{0,1}"}; absorption keeps only {"{0}"}.
+    assert ring.times(_family([{0}, {1}]), _family([{0}])) == _family([{0}])
+
+
+def test_minimize_family_returns_antichain():
+    family = _family([{0}, {0, 1}, {1, 2}, {2, 1}, {0, 1, 2}])
+    minimal = minimize_family(family)
+    assert minimal == _family([{0}, {1, 2}])
+    for a in minimal:
+        for b in minimal:
+            assert not (a < b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    family=st.sets(
+        st.sets(st.sampled_from(FACTS), max_size=3).map(frozenset), max_size=6
+    ).map(frozenset)
+)
+def test_minimize_family_covers_every_member(family):
+    minimal = minimize_family(family)
+    assert minimal <= family
+    for member in family:
+        assert any(kept <= member for kept in minimal)
+
+
+def test_why_budget_guard():
+    from repro.semiring import SemiringBudgetExceeded
+
+    ring = WhySemiring(max_terms=2)
+    wide = _family([{0}, {1}, {2}])
+    with pytest.raises(SemiringBudgetExceeded):
+        ring.plus(wide, ring.zero())
+
+
+def test_polynomial_specializations_commute():
+    ring = PolynomialSemiring()
+    x = ring.from_fact(FACTS[0])
+    y = ring.from_fact(FACTS[1])
+    # (x + y) * x = x^2 + xy
+    value = ring.times(ring.plus(x, y), x)
+    assert polynomial_to_counting(value) == 2
+    assert polynomial_to_why(value) == _family([{0}, {0, 1}])
+    assert polynomial_to_lineage(value) == frozenset([FACTS[0], FACTS[1]])
+
+
+def test_polynomial_coefficients_accumulate():
+    ring = PolynomialSemiring()
+    x = ring.from_fact(FACTS[0])
+    doubled = ring.plus(x, x)
+    assert polynomial_to_counting(doubled) == 2
+    squared = ring.times(x, x)
+    ((monomial, coeff),) = tuple(squared)
+    assert coeff == 1
+    assert monomial == ((FACTS[0], 2),)
+
+
+def test_polynomial_zero_coefficients_are_dropped():
+    ring = PolynomialSemiring()
+    assert ring.plus(ring.zero(), ring.zero()) == frozenset()
+    assert ring.times(ring.zero(), ring.one()) == frozenset()
+
+
+def test_polynomial_has_no_top():
+    ring = PolynomialSemiring()
+    with pytest.raises(NotImplementedError):
+        ring.top()
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_polynomial_specializations_are_homomorphisms(data):
+    """Dropping detail commutes with the operations (Green et al.)."""
+    from repro.semiring import CountingSemiring, WhySemiring
+
+    poly = PolynomialSemiring()
+    values = _value_strategy("polynomial")
+    a = data.draw(values)
+    b = data.draw(values)
+    counting = CountingSemiring()
+    why = WhySemiring()
+    # to_counting: N[X] -> N
+    assert polynomial_to_counting(poly.plus(a, b)) == counting.plus(
+        polynomial_to_counting(a), polynomial_to_counting(b)
+    )
+    assert polynomial_to_counting(poly.times(a, b)) == counting.times(
+        polynomial_to_counting(a), polynomial_to_counting(b)
+    )
+    # to_why: N[X] -> Why(X)
+    assert polynomial_to_why(poly.plus(a, b)) == why.plus(
+        polynomial_to_why(a), polynomial_to_why(b)
+    )
+    assert polynomial_to_why(poly.times(a, b)) == why.times(
+        polynomial_to_why(a), polynomial_to_why(b)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_why_to_minwhy_quotient_is_a_homomorphism(data):
+    """Minimization commutes with the why-semiring operations."""
+    why = WhySemiring()
+    min_why = MinWhySemiring()
+    values = _value_strategy("why")
+    a = data.draw(values)
+    b = data.draw(values)
+    assert minimize_family(why.plus(a, b)) == min_why.plus(
+        minimize_family(a), minimize_family(b)
+    )
+    assert minimize_family(why.times(a, b)) == min_why.times(
+        minimize_family(a), minimize_family(b)
+    )

@@ -1,0 +1,158 @@
+"""Souffle-style single-witness provenance: soundness and minimality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    NotDerivableError,
+    SouffleStyleProvenance,
+    annotate,
+    explain_answer,
+    single_witness_why,
+)
+from repro.core import decide_membership
+from repro.datalog import Database, DatalogQuery, parse_database, parse_program
+from repro.datalog.atoms import Atom
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_atom
+from repro.provenance import enumerate_why, enumerate_why_minimal_depth
+from repro.provenance.proof_tree import is_minimal_depth
+
+
+def _pap():
+    program = parse_program(
+        """
+        a(X) :- s(X).
+        a(X) :- a(Y), a(Z), t(Y, Z, X).
+        """
+    )
+    query = DatalogQuery(program, "a")
+    database = Database(
+        parse_database("s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a).")
+    )
+    return query, database
+
+
+def test_annotate_matches_engine_model_and_ranks():
+    query, database = _pap()
+    annotated = annotate(query.program, database)
+    reference = evaluate(query.program, database)
+    assert annotated.model == reference.model
+    assert annotated.heights == reference.ranks
+
+
+def test_witnesses_cover_exactly_the_derived_facts():
+    query, database = _pap()
+    annotated = annotate(query.program, database)
+    derived = {fact for fact in annotated.model if fact not in database}
+    assert set(annotated.witnesses) == derived
+    for fact, witness in annotated.witnesses.items():
+        assert witness.head == fact
+        for body_fact in witness.body:
+            assert body_fact in annotated.model
+            # Minimal-stage witnesses only use strictly earlier facts.
+            assert annotated.heights[body_fact] < annotated.heights[fact]
+
+
+def test_explained_tree_is_valid_and_minimal_depth():
+    query, database = _pap()
+    provenance = SouffleStyleProvenance(query.program, database)
+    for constant in ("a", "b", "c", "d"):
+        fact = parse_atom(f"a({constant})")
+        tree = provenance.explain(fact)
+        tree.validate(query.program, database, expected_root=fact)
+        assert tree.depth() == provenance.height(fact)
+        assert is_minimal_depth(tree, query.program, database)
+        assert tree.is_unambiguous()
+
+
+def test_support_is_a_member_of_why_provenance():
+    query, database = _pap()
+    support = single_witness_why(query, database, ("d",))
+    assert support is not None
+    assert decide_membership(query, database, ("d",), support, "arbitrary")
+    assert support in enumerate_why(query, database, ("d",))
+    assert support in enumerate_why_minimal_depth(query, database, ("d",))
+
+
+def test_under_approximation_misses_members():
+    """The baseline reports one member; the SAT pipeline reports them all."""
+    query, database = _pap()
+    support = single_witness_why(query, database, ("d",))
+    family = enumerate_why(query, database, ("d",))
+    assert len(family) == 2  # Example 2
+    assert support in family
+    assert len(family - {support}) == 1
+
+
+def test_non_answers_yield_none():
+    query, database = _pap()
+    assert single_witness_why(query, database, ("zzz",)) is None
+    assert explain_answer(query, database, ("zzz",)) is None
+
+
+def test_explain_unknown_fact_raises():
+    query, database = _pap()
+    provenance = SouffleStyleProvenance(query.program, database)
+    with pytest.raises(NotDerivableError):
+        provenance.explain(parse_atom("a(zzz)"))
+    with pytest.raises(NotDerivableError):
+        provenance.height(parse_atom("a(zzz)"))
+
+
+def test_database_facts_explain_as_leaves():
+    query, database = _pap()
+    provenance = SouffleStyleProvenance(query.program, database)
+    fact = parse_atom("s(a)")
+    tree = provenance.explain(fact)
+    assert tree.depth() == 0
+    assert tree.support() == frozenset([fact])
+    assert provenance.height(fact) == 0
+
+
+def test_holds_reflects_model_membership():
+    query, database = _pap()
+    provenance = SouffleStyleProvenance(query.program, database)
+    assert provenance.holds(parse_atom("a(d)"))
+    assert not provenance.holds(parse_atom("a(zzz)"))
+
+
+def test_ambiguity_example_yields_one_of_the_two_minimal_members():
+    """Example 4: two unambiguous members; the baseline picks one."""
+    program = parse_program(
+        """
+        a(X) :- s(X).
+        a(X) :- a(Y), a(Z), t(Y, Z, X).
+        """
+    )
+    query = DatalogQuery(program, "a")
+    database = Database(
+        parse_database("s(a). s(b). t(a, a, c). t(b, b, c). t(c, c, d).")
+    )
+    support = single_witness_why(query, database, ("d",))
+    member_a = frozenset(parse_database("s(a). t(a, a, c). t(c, c, d)."))
+    member_b = frozenset(parse_database("s(b). t(b, b, c). t(c, c, d)."))
+    assert support in (member_a, member_b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    edges=st.sets(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=12
+    )
+)
+def test_random_graph_witness_trees_are_sound(edges):
+    program = parse_program(
+        """
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    )
+    database = Database([Atom("e", (f"n{u}", f"n{v}")) for u, v in edges])
+    provenance = SouffleStyleProvenance(program, database)
+    derived = [fact for fact in provenance.annotated.model if fact not in database]
+    for fact in derived[:10]:
+        tree = provenance.explain(fact)
+        tree.validate(program, database, expected_root=fact)
+        assert tree.depth() == provenance.height(fact)

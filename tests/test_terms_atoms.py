@@ -1,0 +1,128 @@
+"""Unit tests for terms and atoms."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, make_fact, signature
+from repro.datalog.terms import (
+    Variable,
+    constants_of,
+    fresh_variable,
+    is_constant,
+    is_variable,
+    variables_of,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_immutable(self):
+        v = Variable("x")
+        with pytest.raises(AttributeError):
+            v.name = "y"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_str_and_repr(self):
+        assert str(Variable("abc")) == "abc"
+        assert "abc" in repr(Variable("abc"))
+
+    def test_not_equal_to_string_of_same_name(self):
+        # A variable must never collide with a constant of the same name.
+        assert Variable("x") != "x"
+        assert hash(Variable("x")) != hash("x") or Variable("x") != "x"
+
+
+class TestFreshVariable:
+    def test_fresh_variables_are_distinct(self):
+        a, b = fresh_variable(), fresh_variable()
+        assert a != b
+
+    def test_prefix_respected(self):
+        assert fresh_variable("blank").name.startswith("blank")
+
+
+class TestTermPredicates:
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable("x")
+        assert not is_variable(3)
+
+    def test_is_constant(self):
+        assert is_constant("a")
+        assert is_constant(0)
+        assert not is_constant(Variable("x"))
+
+    def test_variables_of_and_constants_of(self):
+        terms = [Variable("x"), "a", 1, Variable("y")]
+        assert variables_of(terms) == {Variable("x"), Variable("y")}
+        assert constants_of(terms) == {"a", 1}
+
+
+class TestAtom:
+    def test_equality_and_hash(self):
+        assert Atom("R", ("a", 1)) == Atom("R", ("a", 1))
+        assert Atom("R", ("a",)) != Atom("S", ("a",))
+        assert Atom("R", ("a",)) != Atom("R", ("b",))
+        assert len({Atom("R", ("a",)), Atom("R", ("a",))}) == 1
+
+    def test_arity(self):
+        assert Atom("R", ()).arity == 0
+        assert Atom("R", ("a", "b", "c")).arity == 3
+
+    def test_is_fact(self):
+        assert Atom("R", ("a", 1)).is_fact()
+        assert not Atom("R", (Variable("x"), "a")).is_fact()
+
+    def test_variables_and_constants(self):
+        atom = Atom("R", (Variable("x"), "a", Variable("x")))
+        assert atom.variables() == {Variable("x")}
+        assert atom.constants() == {"a"}
+
+    def test_substitute(self):
+        atom = Atom("R", (Variable("x"), Variable("y")))
+        grounded = atom.substitute({Variable("x"): "a"})
+        assert grounded == Atom("R", ("a", Variable("y")))
+
+    def test_ground_requires_total_mapping(self):
+        atom = Atom("R", (Variable("x"), Variable("y")))
+        with pytest.raises(ValueError):
+            atom.ground({Variable("x"): "a"})
+        fact = atom.ground({Variable("x"): "a", Variable("y"): "b"})
+        assert fact == Atom("R", ("a", "b"))
+
+    def test_immutable(self):
+        atom = Atom("R", ("a",))
+        with pytest.raises(AttributeError):
+            atom.pred = "S"
+
+    def test_str(self):
+        assert str(Atom("R", ("a", Variable("x")))) == "R(a, x)"
+
+    def test_empty_pred_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", ("a",))
+
+    def test_constants_of_different_types_distinct(self):
+        assert Atom("R", (1,)) != Atom("R", ("1",))
+
+
+class TestMakeFact:
+    def test_make_fact(self):
+        assert make_fact("R", "a", 1) == Atom("R", ("a", 1))
+
+    def test_make_fact_rejects_variables(self):
+        with pytest.raises(ValueError):
+            make_fact("R", Variable("x"))
+
+
+class TestSignature:
+    def test_signature(self):
+        assert signature(Atom("R", ("a", "b"))) == ("R", 2)

@@ -1,0 +1,181 @@
+"""Top-down tabled resolution vs. the bottom-up engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import TopDownEngine, answers_top_down, call_pattern, prove_top_down
+from repro.datalog import Database, DatalogQuery, parse_database, parse_program
+from repro.datalog.atoms import Atom
+from repro.datalog.engine import answers
+from repro.datalog.parser import parse_atom
+from repro.datalog.terms import Variable
+
+
+def _tc():
+    program = parse_program(
+        """
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    )
+    return DatalogQuery(program, "t")
+
+
+def _pap():
+    program = parse_program(
+        """
+        a(X) :- s(X).
+        a(X) :- a(Y), a(Z), t(Y, Z, X).
+        """
+    )
+    query = DatalogQuery(program, "a")
+    database = Database(
+        parse_database("s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a).")
+    )
+    return query, database
+
+
+def test_call_pattern_distinguishes_equality_shapes():
+    x, y = Variable("X"), Variable("Y")
+    assert call_pattern(Atom("p", (x, x))) != call_pattern(Atom("p", (x, y)))
+    assert call_pattern(Atom("p", (x, y))) == call_pattern(Atom("p", (y, x)))
+    assert call_pattern(parse_atom("p(a, X)")) == ("p", ("a", ("?", 0)))
+
+
+def test_transitive_closure_matches_bottom_up():
+    query = _tc()
+    database = Database(parse_database("e(a, b). e(b, c). e(c, a). e(c, d)."))
+    assert answers_top_down(query, database) == answers(query, database)
+
+
+def test_cyclic_data_terminates_and_is_complete():
+    query = _tc()
+    database = Database(parse_database("e(a, a). e(a, b)."))
+    result = answers_top_down(query, database)
+    assert result == answers(query, database)
+    assert ("a", "a") in result
+
+
+def test_nonlinear_recursion_matches_bottom_up():
+    query, database = _pap()
+    assert answers_top_down(query, database) == answers(query, database)
+
+
+def test_prove_ground_goals():
+    query, database = _pap()
+    assert prove_top_down(query, database, ("d",)) is True
+    assert prove_top_down(query, database, ("zzz",)) is False
+
+
+def test_prove_requires_ground_goal():
+    query, database = _pap()
+    engine = TopDownEngine(query.program, database)
+    with pytest.raises(ValueError, match="ground goal"):
+        engine.prove(parse_atom("a(X)"))
+
+
+def test_extensional_goal_bypasses_resolution():
+    query, database = _pap()
+    engine = TopDownEngine(query.program, database)
+    result = engine.query(parse_atom("t(a, a, X)"))
+    assert result == frozenset(parse_database("t(a, a, b). t(a, a, c). t(a, a, d)."))
+    assert engine.stats.subgoal_calls == 0
+
+
+def test_bound_goal_explores_less_than_free_goal():
+    program = parse_program(
+        """
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    )
+    facts = ". ".join(f"e(n{i}, n{i + 1})" for i in range(12)) + "."
+    database = Database(parse_database(facts))
+    bound = TopDownEngine(program, database)
+    bound.query(parse_atom("t(n0, n1)"))
+    free = TopDownEngine(program, database)
+    free.query(Atom("t", (Variable("X"), Variable("Y"))))
+    assert bound.stats.resolution_steps <= free.stats.resolution_steps
+
+
+def test_tables_are_reused_across_queries():
+    query, database = _pap()
+    engine = TopDownEngine(query.program, database)
+    engine.query(parse_atom("a(d)"))
+    first_calls = engine.stats.subgoal_calls
+    engine.query(parse_atom("a(d)"))
+    # The second run converges immediately on the filled tables.
+    assert engine.stats.subgoal_calls <= 2 * first_calls
+    assert engine.stats.table_hits > 0
+
+
+def test_statistics_dictionary_shape():
+    query, database = _pap()
+    engine = TopDownEngine(query.program, database)
+    engine.prove(parse_atom("a(b)"))
+    stats = engine.stats.as_dict()
+    assert set(stats) == {
+        "subgoal_calls",
+        "table_hits",
+        "resolution_steps",
+        "fixpoint_passes",
+    }
+    assert stats["fixpoint_passes"] >= 1
+
+
+def test_repeated_variables_in_goal():
+    program = parse_program("p(X, Y) :- e(X, Y).")
+    query = DatalogQuery(program, "p")
+    database = Database(parse_database("e(a, a). e(a, b)."))
+    engine = TopDownEngine(query.program, database)
+    x = Variable("X")
+    result = engine.query(Atom("p", (x, x)))
+    assert result == frozenset(parse_database("p(a, a)."))
+
+
+def test_constants_in_rule_bodies():
+    program = parse_program(
+        """
+        reach(X) :- start(X).
+        reach(Y) :- reach(X), e(X, Y).
+        """
+    )
+    query = DatalogQuery(program, "reach")
+    database = Database(parse_database("start(a). e(a, b). e(b, c). e(z, w)."))
+    assert answers_top_down(query, database) == {("a",), ("b",), ("c",)}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    edges=st.sets(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=0, max_size=10
+    )
+)
+def test_random_graphs_agree_with_bottom_up(edges):
+    query = _tc()
+    facts = [Atom("e", (f"n{u}", f"n{v}")) for u, v in edges]
+    database = Database(facts)
+    assert answers_top_down(query, database) == answers(query, database)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    triples=st.sets(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+        max_size=6,
+    ),
+    sources=st.sets(st.integers(0, 2), min_size=1, max_size=2),
+)
+def test_random_path_systems_agree_with_bottom_up(triples, sources):
+    program = parse_program(
+        """
+        a(X) :- s(X).
+        a(X) :- a(Y), a(Z), t(Y, Z, X).
+        """
+    )
+    query = DatalogQuery(program, "a")
+    facts = [Atom("s", (f"n{i}",)) for i in sources]
+    facts += [Atom("t", (f"n{u}", f"n{v}", f"n{w}")) for u, v, w in triples]
+    database = Database(facts)
+    assert answers_top_down(query, database) == answers(query, database)

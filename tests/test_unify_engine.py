@@ -1,0 +1,187 @@
+"""Unit tests for body matching and the bottom-up engine."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.engine import (
+    answers,
+    evaluate,
+    ground_instances,
+    holds,
+    immediate_consequences,
+    stage_sets,
+)
+from repro.datalog.parser import parse_database, parse_program
+from repro.datalog.program import DatalogQuery
+from repro.datalog.terms import Variable
+from repro.datalog.unify import match_atom, match_body, plan_order
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+TC = parse_program(
+    """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    """
+)
+
+PATH_DB = Database(parse_database("e(a, b). e(b, c). e(c, d)."))
+
+
+class TestMatchAtom:
+    def test_binds_variables(self):
+        subst = match_atom(Atom("e", (X, Y)), Atom("e", ("a", "b")))
+        assert subst == {X: "a", Y: "b"}
+
+    def test_repeated_variable(self):
+        pattern = Atom("e", (X, X))
+        assert match_atom(pattern, Atom("e", ("a", "a"))) == {X: "a"}
+        assert match_atom(pattern, Atom("e", ("a", "b"))) is None
+
+    def test_respects_base(self):
+        pattern = Atom("e", (X, Y))
+        assert match_atom(pattern, Atom("e", ("a", "b")), {X: "z"}) is None
+        assert match_atom(pattern, Atom("e", ("a", "b")), {X: "a"}) == {X: "a", Y: "b"}
+
+    def test_constant_mismatch(self):
+        assert match_atom(Atom("e", ("q", Y)), Atom("e", ("a", "b"))) is None
+        assert match_atom(Atom("f", (X, Y)), Atom("e", ("a", "b"))) is None
+
+
+class TestMatchBody:
+    def test_join(self):
+        body = (Atom("e", (X, Y)), Atom("e", (Y, Z)))
+        results = list(match_body(body, PATH_DB))
+        pairs = {(s[X], s[Z]) for s in results}
+        assert pairs == {("a", "c"), ("b", "d")}
+
+    def test_base_substitution(self):
+        body = (Atom("e", (X, Y)),)
+        results = list(match_body(body, PATH_DB, {X: "a"}))
+        assert len(results) == 1
+        assert results[0][Y] == "b"
+
+    def test_empty_result(self):
+        body = (Atom("e", (X, X)),)
+        assert list(match_body(body, PATH_DB)) == []
+
+    def test_cross_product(self):
+        body = (Atom("e", (X, Y)), Atom("e", (Z, Variable("w"))))
+        assert len(list(match_body(body, PATH_DB))) == 9
+
+    def test_long_chain(self):
+        # Deep joins must not hit recursion limits.
+        chain_db = Database(
+            Atom("e", (f"n{i}", f"n{i+1}")) for i in range(50)
+        )
+        variables = [Variable(f"v{i}") for i in range(41)]
+        body = tuple(
+            Atom("e", (variables[i], variables[i + 1])) for i in range(40)
+        )
+        # Paths of length 40 in a 50-edge chain start at n0 .. n10.
+        results = list(match_body(body, chain_db))
+        assert len(results) == 11
+
+
+class TestPlanOrder:
+    def test_prefers_bound_atoms(self):
+        body = [Atom("e", (Y, Z)), Atom("e", (X, Y))]
+        order = plan_order(body, {X: "a"})
+        assert order[0] == Atom("e", (X, Y))
+
+    def test_keeps_all_atoms(self):
+        body = [Atom("e", (X, Y)), Atom("f", (Z,)), Atom("g", (Y, Z))]
+        assert sorted(map(str, plan_order(body))) == sorted(map(str, body))
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("method", ["naive", "seminaive"])
+    def test_transitive_closure(self, method):
+        result = evaluate(TC, PATH_DB, method=method)
+        tc_facts = {f.args for f in result.model.relation("tc")}
+        assert tc_facts == {
+            ("a", "b"), ("b", "c"), ("c", "d"),
+            ("a", "c"), ("b", "d"), ("a", "d"),
+        }
+
+    def test_methods_agree_on_ranks(self):
+        naive = evaluate(TC, PATH_DB, method="naive")
+        semi = evaluate(TC, PATH_DB, method="seminaive")
+        assert naive.model == semi.model
+        assert naive.ranks == semi.ranks
+
+    def test_ranks_match_stage_sets(self):
+        result = evaluate(TC, PATH_DB)
+        stages = stage_sets(TC, PATH_DB)
+        for fact, rank in result.ranks.items():
+            first = next(i for i, stage in enumerate(stages) if fact in stage)
+            assert first == rank, f"{fact}: rank {rank}, stage {first}"
+
+    def test_extensional_facts_rank_zero(self):
+        result = evaluate(TC, PATH_DB)
+        for fact in PATH_DB:
+            assert result.ranks[fact] == 0
+
+    def test_rank_growth_along_chain(self):
+        result = evaluate(TC, PATH_DB)
+        assert result.ranks[Atom("tc", ("a", "b"))] == 1
+        assert result.ranks[Atom("tc", ("a", "c"))] == 2
+        assert result.ranks[Atom("tc", ("a", "d"))] == 3
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            evaluate(TC, PATH_DB, method="magic")
+
+    def test_empty_database(self):
+        result = evaluate(TC, Database())
+        assert result.model == set()
+        assert result.rounds == 0
+
+    def test_nonlinear_program(self):
+        program = parse_program(
+            """
+            a(X) :- s(X).
+            a(X) :- a(Y), a(Z), t(Y, Z, X).
+            """
+        )
+        db = Database(parse_database(
+            "s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a)."
+        ))
+        result = evaluate(program, db)
+        derived = {f.args[0] for f in result.model.relation("a")}
+        assert derived == {"a", "b", "c", "d"}
+
+
+class TestAnswers:
+    def test_answers(self):
+        query = DatalogQuery(TC, "tc")
+        assert ("a", "d") in answers(query, PATH_DB)
+        assert holds(query, PATH_DB, ("a", "d"))
+        assert not holds(query, PATH_DB, ("d", "a"))
+
+
+class TestGroundInstances:
+    def test_instances_over_model(self):
+        result = evaluate(TC, PATH_DB)
+        instances = list(ground_instances(TC, result.model))
+        heads = {g.head for g in instances}
+        assert Atom("tc", ("a", "d")) in heads
+        # Every instance body lies in the model and justifies its head.
+        for g in instances:
+            assert all(atom in result.model for atom in g.body)
+            assert g.head in result.model
+
+    def test_instance_counts(self):
+        result = evaluate(TC, PATH_DB)
+        instances = list(ground_instances(TC, result.model))
+        # Rule 1: 3 base instances; rule 2: tc(x,y) x e(y,z) joins.
+        rule2 = [g for g in instances if len(g.body) == 2]
+        assert len(instances) == 3 + len(rule2)
+
+
+class TestImmediateConsequences:
+    def test_one_step(self):
+        out = immediate_consequences(TC, PATH_DB)
+        assert Atom("tc", ("a", "b")) in out
+        assert Atom("tc", ("a", "c")) not in out

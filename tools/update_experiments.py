@@ -1,0 +1,63 @@
+"""Refresh the measured snapshot in EXPERIMENTS.md from bench_output.txt.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+    python tools/update_experiments.py
+
+Everything after the ``<!-- MEASURED-SNAPSHOT -->`` marker in
+EXPERIMENTS.md is replaced by the banner-delimited tables found in the
+benchmark output (the pytest-benchmark timing footer is dropped — the
+interesting content is the regenerated paper tables).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+MARKER = "<!-- MEASURED-SNAPSHOT -->"
+
+
+def extract_tables(text: str) -> str:
+    """Keep the banner-delimited sections printed by the benchmarks."""
+    lines = text.splitlines()
+    keep: list[str] = []
+    capturing = False
+    for index, line in enumerate(lines):
+        if set(line.strip()) == {"="} and line.strip() and index + 1 < len(lines):
+            next_line = lines[index + 1]
+            # A banner is ===== / title / =====.
+            if next_line.strip() and not next_line.startswith("="):
+                capturing = True
+        if line.startswith("---------") and "benchmark" in line:
+            capturing = False  # pytest-benchmark footer reached
+        if re.match(r"^\d+ passed", line.strip()):
+            capturing = False
+        if capturing and not re.match(r"^\.*\s*\[\s*\d+%\]\s*$", line):
+            keep.append(line)
+    return "\n".join(keep).strip()
+
+
+def main() -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    bench_path = os.path.join(root, "bench_output.txt")
+    experiments_path = os.path.join(root, "EXPERIMENTS.md")
+    if not os.path.exists(bench_path):
+        print("bench_output.txt not found; run the benchmarks first", file=sys.stderr)
+        return 1
+    with open(bench_path) as handle:
+        tables = extract_tables(handle.read())
+    with open(experiments_path) as handle:
+        document = handle.read()
+    head, _, _ = document.partition(MARKER)
+    snapshot = f"{MARKER}\n\n```\n{tables}\n```\n"
+    with open(experiments_path, "w") as handle:
+        handle.write(head + snapshot)
+    print(f"EXPERIMENTS.md snapshot refreshed ({len(tables.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
