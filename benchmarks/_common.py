@@ -10,26 +10,51 @@ multi-million-fact databases; this pure-Python reproduction defaults to
 3 tuples, 60 members and 4 seconds per tuple (override with the
 ``REPRO_BENCH_TUPLES`` / ``REPRO_BENCH_MEMBERS`` / ``REPRO_BENCH_TIMEOUT``
 environment variables to run closer to paper scale).
+
+Two additions on top of the figure tables:
+
+* experiments run through a :class:`~repro.core.session.ProvenanceSession`
+  by default (one instrumented evaluation per database, closures by GRI
+  restriction); set ``REPRO_BENCH_SESSION=0`` to fall back to the seed's
+  per-tuple re-matching path, the foil for speedup measurements;
+* every figure benchmark can dump a machine-readable ``BENCH_<name>.json``
+  via :func:`write_bench_json` (directory: ``REPRO_BENCH_JSON_DIR``,
+  default ``benchmarks/out``) so future PRs can track build-time trends
+  without scraping stdout.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict, List, Tuple
+import platform
+import time
+from typing import Dict, List, Optional, Tuple
 
+from repro import __version__
 from repro.harness.runner import DatabaseRun, run_database
 from repro.scenarios import get_scenario
 
 BENCH_TUPLES = int(os.environ.get("REPRO_BENCH_TUPLES", "3"))
 BENCH_MEMBERS = int(os.environ.get("REPRO_BENCH_MEMBERS", "60"))
 BENCH_TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "4.0"))
+BENCH_USE_SESSION = os.environ.get("REPRO_BENCH_SESSION", "1") != "0"
+BENCH_JSON_DIR = os.environ.get(
+    "REPRO_BENCH_JSON_DIR", os.path.join(os.path.dirname(__file__), "out")
+)
 
-_CACHE: Dict[Tuple[str, str], DatabaseRun] = {}
+_CACHE: Dict[Tuple[str, str, bool], DatabaseRun] = {}
 
 
-def cached_run(scenario_name: str, database_name: str) -> DatabaseRun:
+def cached_run(
+    scenario_name: str,
+    database_name: str,
+    use_session: Optional[bool] = None,
+) -> DatabaseRun:
     """Run (or reuse) the standard experiment for one scenario database."""
-    key = (scenario_name, database_name)
+    if use_session is None:
+        use_session = BENCH_USE_SESSION
+    key = (scenario_name, database_name, use_session)
     if key not in _CACHE:
         scenario = get_scenario(scenario_name)
         _CACHE[key] = run_database(
@@ -39,13 +64,67 @@ def cached_run(scenario_name: str, database_name: str) -> DatabaseRun:
             member_limit=BENCH_MEMBERS,
             timeout_seconds=BENCH_TIMEOUT,
             seed=7,
+            use_session=use_session,
         )
     return _CACHE[key]
 
 
-def scenario_runs(scenario_name: str) -> List[DatabaseRun]:
+def scenario_runs(
+    scenario_name: str, use_session: Optional[bool] = None
+) -> List[DatabaseRun]:
     scenario = get_scenario(scenario_name)
-    return [cached_run(scenario_name, name) for name in scenario.database_names()]
+    return [
+        cached_run(scenario_name, name, use_session=use_session)
+        for name in scenario.database_names()
+    ]
+
+
+def run_payload(run: DatabaseRun) -> Dict:
+    """A JSON-serializable record of one database run."""
+    return {
+        "scenario": run.scenario,
+        "database": run.database,
+        "fact_count": run.fact_count,
+        "tuples": [
+            {
+                "tuple": list(map(str, r.tuple_value)),
+                "closure_seconds": r.closure_seconds,
+                "formula_seconds": r.formula_seconds,
+                "build_seconds": r.build_seconds,
+                "members": r.members,
+                "exhausted": r.exhausted,
+            }
+            for r in run.tuple_runs
+        ],
+    }
+
+
+def write_bench_json(name: str, payload: Dict) -> str:
+    """Dump *payload* as ``BENCH_<name>.json`` under :data:`BENCH_JSON_DIR`.
+
+    The envelope records the benchmark configuration so that numbers from
+    different machines / budgets are never compared blind. Returns the
+    path written.
+    """
+    os.makedirs(BENCH_JSON_DIR, exist_ok=True)
+    path = os.path.join(BENCH_JSON_DIR, f"BENCH_{name}.json")
+    envelope = {
+        "benchmark": name,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "unix_time": time.time(),
+        "config": {
+            "tuples_per_database": BENCH_TUPLES,
+            "member_limit": BENCH_MEMBERS,
+            "timeout_seconds": BENCH_TIMEOUT,
+            "use_session": BENCH_USE_SESSION,
+        },
+        "data": payload,
+    }
+    with open(path, "w") as handle:
+        json.dump(envelope, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def print_banner(title: str) -> None:

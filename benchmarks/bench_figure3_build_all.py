@@ -10,7 +10,14 @@ more per fact; build time grows with the database within each family.
 
 from repro.harness.tables import figure_build_times, render_table
 
-from _common import cached_run, print_banner, run_once, scenario_runs
+from _common import (
+    cached_run,
+    print_banner,
+    run_once,
+    run_payload,
+    scenario_runs,
+    write_bench_json,
+)
 
 DOCTORS = [f"Doctors-{i}" for i in range(1, 8)]
 
@@ -29,6 +36,7 @@ def test_print_figure3a_doctors(benchmark, capsys):
                     f"{r.build_seconds:.3f}",
                 ])
         print(render_table(["Variant", "Closure (s)", "Formula (s)", "Total (s)"], rows))
+        write_bench_json("figure3a_doctors", [run_payload(r) for r in runs])
 
 
 def test_print_figure3b_transclosure(benchmark, capsys):
@@ -36,6 +44,7 @@ def test_print_figure3b_transclosure(benchmark, capsys):
     with capsys.disabled():
         print_banner("Figure 3(b): build time (TransClosure)")
         print(figure_build_times(runs, ""))
+        write_bench_json("figure3b_transclosure", [run_payload(r) for r in runs])
 
 
 def test_print_figure3c_galen(benchmark, capsys):
@@ -43,6 +52,7 @@ def test_print_figure3c_galen(benchmark, capsys):
     with capsys.disabled():
         print_banner("Figure 3(c): build time (Galen)")
         print(figure_build_times(runs, ""))
+        write_bench_json("figure3c_galen", [run_payload(r) for r in runs])
 
 
 def test_print_figure3d_andersen(benchmark, capsys):
@@ -50,6 +60,7 @@ def test_print_figure3d_andersen(benchmark, capsys):
     with capsys.disabled():
         print_banner("Figure 3(d): build time (Andersen)")
         print(figure_build_times(runs, ""))
+        write_bench_json("figure3d_andersen", [run_payload(r) for r in runs])
 
 
 def test_print_figure3e_csda(benchmark, capsys):
@@ -57,6 +68,7 @@ def test_print_figure3e_csda(benchmark, capsys):
     with capsys.disabled():
         print_banner("Figure 3(e): build time (CSDA)")
         print(figure_build_times(runs, ""))
+        write_bench_json("figure3e_csda", [run_payload(r) for r in runs])
 
 
 def test_shape_largest_database_not_cheapest(benchmark, capsys):

@@ -1,9 +1,13 @@
 """Quickstart: why-provenance for the paper's running example.
 
-Reproduces Examples 1-4 of the paper on the path-accessibility program:
-evaluate a recursive Datalog query, enumerate the why-provenance of an
-answer relative to unambiguous proof trees (via the SAT pipeline), decide
-membership for candidate explanations, and inspect an actual proof tree.
+Reproduces Examples 1-4 of the paper on the path-accessibility program,
+driven through the library's front-door API: a
+:class:`~repro.core.session.ProvenanceSession`. The session evaluates the
+program exactly once (with the engine instrumented to record every ground
+rule instance), then serves every downstream request — enumeration,
+membership decisions, minimal explanations, proof trees — from shared
+caches: one graph of rule instances, per-fact downward closures, per-fact
+CNF encodings, warm incremental SAT solvers.
 
 Run with:  python examples/quickstart.py
 """
@@ -11,8 +15,7 @@ Run with:  python examples/quickstart.py
 from repro import (
     Database,
     DatalogQuery,
-    WhyProvenanceEnumerator,
-    decide_membership,
+    ProvenanceSession,
     parse_database,
     parse_program,
 )
@@ -34,14 +37,19 @@ def main() -> None:
         "s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a)."
     ))
 
+    # One session per (query, database): everything below shares a single
+    # evaluation and a single graph of rule instances.
+    session = ProvenanceSession(query, database)
+    print(f"answers: {session.answers()}\n")
+
     # --- Enumerate whyUN((d), D, Q) incrementally via SAT ----------------
     print("why-provenance of a(d) relative to unambiguous proof trees:")
-    enumerator = WhyProvenanceEnumerator(query, database, ("d",))
+    enumerator = session.enumerator(("d",))
     for record in enumerator.enumerate():
         facts = ", ".join(sorted(map(str, record.support)))
         print(f"  member #{record.index}: {{{facts}}}  "
               f"(delay {record.delay_seconds * 1000:.2f} ms)")
-    print(f"  closure built in {enumerator.closure_seconds * 1000:.1f} ms, "
+    print(f"  closure served in {enumerator.closure_seconds * 1000:.1f} ms, "
           f"formula in {enumerator.formula_seconds * 1000:.1f} ms\n")
 
     # --- Decide membership for candidate explanations --------------------
@@ -49,15 +57,18 @@ def main() -> None:
     full = database.facts()
     for name, candidate in (("minimal witness", minimal), ("whole database", full)):
         for tree_class in ("arbitrary", "unambiguous"):
-            verdict = decide_membership(query, database, ("d",), candidate, tree_class)
+            verdict = session.decide(("d",), candidate, tree_class)
             print(f"  {name} in why_{tree_class}((d))?  {verdict}")
     print()
 
+    # --- Minimal explanations --------------------------------------------
+    smallest = session.smallest_member(("d",))
+    print(f"smallest member of whyUN((d)): {sorted(map(str, smallest))}\n")
+
     # --- Materialize the witnessing proof tree ---------------------------
-    from repro.core.encoder import encode_why_provenance
     from repro.sat.solver import CDCLSolver
 
-    encoding = encode_why_provenance(query, database, ("d",))
+    encoding = session.encoding(("d",))
     solver = CDCLSolver()
     solver.add_cnf(encoding.cnf)
     assert solver.solve()
@@ -66,6 +77,11 @@ def main() -> None:
     print("one unambiguous proof tree of a(d):")
     for line in tree.pretty().splitlines():
         print(f"  {line}")
+
+    # The whole script cost exactly one fixpoint evaluation:
+    stats = session.stats
+    print(f"\nsession stats: {stats.as_dict()}")
+    assert stats.evaluations == 1
 
 
 if __name__ == "__main__":

@@ -28,6 +28,8 @@ from .baselines import (
 )
 from .core import (
     FORewriting,
+    ProvenanceSession,
+    SessionStats,
     WhyProvenanceEncoding,
     WhyProvenanceEnumerator,
     decide_membership,
@@ -88,6 +90,8 @@ __all__ = [
     "ProofDAG",
     "ProofTree",
     "Program",
+    "ProvenanceSession",
+    "SessionStats",
     "Rule",
     "Variable",
     "WhyProvenanceEncoding",

@@ -9,6 +9,12 @@ Three families of comparators:
   fact (Zhao/Subotic/Scholz's scalable under-approximation);
 * :mod:`~repro.baselines.top_down` — QSQR-style tabled goal-directed
   evaluation, an independent oracle for query answering.
+
+All baselines deliberately bypass the caches of
+:class:`~repro.core.session.ProvenanceSession`: they are the *non-session
+foils* the benchmarks compare against, so they must pay the full cost of
+their own grounding and evaluation on every call. Do not thread a session
+through them.
 """
 
 from .all_at_once import AllAtOnceReport, BaselineBudgetExceeded, all_at_once_why

@@ -12,6 +12,11 @@ The paper compares end-to-end runtimes against this style of computation
 on the Doctors scenarios, which are linear *and* non-recursive — there
 arbitrary and unambiguous proof trees yield the same why-provenance, so
 the comparison is apples-to-apples (Section 6 / Appendix D.5).
+
+As a non-session foil this module never touches the
+:class:`~repro.core.session.ProvenanceSession` caches; callers may still
+hand it a precomputed ``closure`` to isolate saturation cost from
+grounding cost.
 """
 
 from __future__ import annotations

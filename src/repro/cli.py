@@ -1,9 +1,11 @@
 """Command-line interface.
 
-Seven subcommands expose the library to shell users::
+Eight subcommands expose the library to shell users::
 
     python -m repro eval     program.dl data.dl --answer tc
     python -m repro why      program.dl data.dl --answer tc --tuple a,b
+    python -m repro batch    program.dl data.dl --answer tc \
+                             --tuples "a,b;b,c"   (or --all-answers)
     python -m repro decide   program.dl data.dl --answer tc --tuple a,b \
                              --subset subset.dl --tree-class unambiguous
     python -m repro dimacs   program.dl data.dl --answer tc --tuple a,b
@@ -11,6 +13,12 @@ Seven subcommands expose the library to shell users::
     python -m repro semiring program.dl data.dl --answer tc --tuple a,b \
                              --semiring tropical
     python -m repro explain  program.dl data.dl --answer tc --tuple a,b
+
+``batch`` is the session-backed mode: one
+:class:`~repro.core.session.ProvenanceSession` evaluates ``(D, Sigma)``
+exactly once and serves every target tuple from the shared instrumented
+grounding, instead of re-evaluating per tuple like repeated ``why`` calls
+would.
 
 Programs and databases use the textual Datalog syntax of
 :mod:`repro.datalog.parser`; tuples are comma-separated constants (decimal
@@ -28,6 +36,7 @@ from .core.decision import TREE_CLASSES, decide_membership
 from .core.encoder import encode_why_provenance
 from .core.enumerator import WhyProvenanceEnumerator
 from .core.minimal import minimal_members, smallest_member
+from .core.session import ProvenanceSession
 from .datalog.database import Database
 from .datalog.engine import answers
 from .datalog.parser import parse_database, parse_program
@@ -110,6 +119,41 @@ def _cmd_why(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    query, database = _load_query(args)
+    session = ProvenanceSession(query, database)
+    if args.all_answers:
+        tuples = session.answers()
+    else:
+        tuples = [parse_tuple(part) for part in args.tuples.split(";") if part.strip()]
+    failures = 0
+    for tup in tuples:
+        inner = ", ".join(str(t) for t in tup)
+        label = f"{query.answer_predicate}({inner})"
+        try:
+            is_answer = session.is_answer(tup)
+        except ValueError as exc:  # e.g. arity mismatch: skip, keep batching
+            print(f"{label}: invalid tuple ({exc})")
+            failures += 1
+            continue
+        if not is_answer:
+            print(f"{label}: not an answer")
+            failures += 1
+            continue
+        members = session.why(tup, limit=args.limit, timeout_seconds=args.timeout)
+        print(f"{label}: {len(members)} members")
+        for index, member in enumerate(members):
+            facts = " ".join(sorted(f"{fact}." for fact in member))
+            print(f"  member {index}: {facts}")
+    stats = session.stats
+    print(
+        f"% {len(tuples)} tuples served by {stats.evaluations} evaluation(s), "
+        f"{stats.gri_builds} GRI build(s), {stats.closure_builds} closure(s)",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
 
 
 def _cmd_decide(args: argparse.Namespace) -> int:
@@ -219,6 +263,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="member order: solver discovery order, or smallest first",
     )
     p_why.set_defaults(func=_cmd_why)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="enumerate whyUN for many tuples with one shared evaluation",
+    )
+    common(p_batch, with_tuple=False)
+    targets = p_batch.add_mutually_exclusive_group(required=True)
+    targets.add_argument(
+        "--tuples", help="semicolon-separated answer tuples, e.g. 'a,b;b,c'"
+    )
+    targets.add_argument(
+        "--all-answers",
+        action="store_true",
+        help="enumerate the why-provenance of every answer tuple",
+    )
+    p_batch.add_argument("--limit", type=int, default=None, help="max members per tuple")
+    p_batch.add_argument("--timeout", type=float, default=None, help="seconds per tuple")
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_decide = sub.add_parser("decide", help="decide membership of a subset")
     common(p_decide)

@@ -1,4 +1,25 @@
-"""Core contribution: SAT-based why-provenance, deciders, FO rewriting."""
+"""Core contribution: SAT-based why-provenance, deciders, FO rewriting.
+
+The front door of this package is :class:`ProvenanceSession`
+(:mod:`repro.core.session`): one object per ``(query, database)`` pair
+that evaluates the program exactly once — with the engine instrumented to
+record every ground rule instance as it fires — and memoizes the graph of
+rule instances, per-fact downward closures, CNF encodings, and warm
+incremental SAT solvers. Enumerating, deciding, or minimizing
+why-provenance for many target facts over one database should go through
+a session::
+
+    session = ProvenanceSession(query, database)
+    for tup in session.answers():
+        session.why(tup, limit=10)
+        session.decide(tup, subset, tree_class="unambiguous")
+        session.smallest_member(tup)
+
+The historical free functions (``decide_membership``,
+``why_provenance_unambiguous``, ``smallest_member``, ...) remain as thin
+wrappers for one-shot use; each accepts an optional ``session=`` argument
+to opt into the shared caches.
+"""
 
 from .decision import (
     TREE_CLASSES,
@@ -29,9 +50,12 @@ from .fo_rewriting import (
     enumerate_symbolic_trees,
     rewrite,
 )
+from .session import ProvenanceSession, SessionStats
 
 __all__ = [
     "EncodingStats",
+    "ProvenanceSession",
+    "SessionStats",
     "EnumerationReport",
     "FORewriting",
     "InducedCQ",

@@ -50,16 +50,22 @@ def decide_membership(
     tup: Tuple,
     subset: Iterable[Atom],
     tree_class: str = "arbitrary",
+    session=None,
 ) -> bool:
-    """Uniform front end dispatching on *tree_class*."""
+    """Uniform front end dispatching on *tree_class*.
+
+    An optional :class:`~repro.core.session.ProvenanceSession` lets all
+    deciders share one evaluation, GRI, closure and warm solver per tuple
+    instead of recomputing them per call.
+    """
     if tree_class == "arbitrary":
-        return decide_why(query, database, tup, subset)
+        return decide_why(query, database, tup, subset, session=session)
     if tree_class == "unambiguous":
-        return decide_why_unambiguous(query, database, tup, subset)
+        return decide_why_unambiguous(query, database, tup, subset, session=session)
     if tree_class == "nonrecursive":
-        return decide_why_nonrecursive(query, database, tup, subset)
+        return decide_why_nonrecursive(query, database, tup, subset, session=session)
     if tree_class == "minimal-depth":
-        return decide_why_minimal_depth(query, database, tup, subset)
+        return decide_why_minimal_depth(query, database, tup, subset, session=session)
     raise ValueError(f"unknown tree class {tree_class!r}; expected one of {TREE_CLASSES}")
 
 
@@ -76,7 +82,8 @@ def decide_why_unambiguous(
     database: Database,
     tup: Tuple,
     subset: Iterable[Atom],
-    acyclicity: str = "vertex-elimination",
+    acyclicity: Optional[str] = None,
+    session=None,
 ) -> bool:
     """``D' in whyUN(t, D, Q)?`` via one SAT call on ``phi_(t, D, Q)``.
 
@@ -84,9 +91,27 @@ def decide_why_unambiguous(
     downward closure: true inside ``D'``, false outside. The formula is
     then satisfiable iff a compressed DAG with support exactly ``D'``
     exists (Lemma 44), iff ``D'`` is a member (Proposition 41).
+
+    With a *session*, the encoding comes from the session cache and the
+    query runs on the session's warm assumption-only solver, so N
+    membership checks for one tuple pay for one encoding and share
+    learned clauses.
     """
     check_over_schema(database, query.program.edb)
     facts = _validated_subset(database, subset)
+    if acyclicity is None:
+        # Follow the session's configured encoding so one session never
+        # mixes acyclicity regimes across its own methods.
+        acyclicity = session.acyclicity if session is not None else "vertex-elimination"
+    if session is not None:
+        encoding = session.encoding_or_none(tup, acyclicity=acyclicity)
+        if encoding is None:
+            return False
+        assumptions = encoding.membership_assumptions(facts)
+        if assumptions is None:
+            return False
+        solver = session.decision_solver(tup, acyclicity=acyclicity)
+        return bool(solver.solve(assumptions=assumptions))
     try:
         encoding = encode_why_provenance(query, database, tup, acyclicity=acyclicity)
     except FactNotDerivable:
@@ -106,6 +131,7 @@ def decide_why(
     subset: Iterable[Atom],
     max_copies: int = 3,
     use_oracle_fallback: bool = True,
+    session=None,
 ) -> bool:
     """``D' in why(t, D, Q)?`` (arbitrary proof trees, Definition 2).
 
@@ -127,6 +153,14 @@ def decide_why(
     """
     check_over_schema(database, query.program.edb)
     facts = _validated_subset(database, subset)
+    if session is not None:
+        # Fast rejects from the session caches: the tuple must be an
+        # answer, and every fact of D' must lie in the closure over the
+        # *full* database (leaves of any witnessing tree are closure
+        # nodes). The per-subset work below is inherently subset-local.
+        full_closure = session.closure_or_none(query.answer_atom(tup))
+        if full_closure is None or not facts <= full_closure.nodes:
+            return False
     sub_db = Database(facts)
     fact = query.answer_atom(tup)
     try:
@@ -158,6 +192,7 @@ def decide_why_nonrecursive(
     database: Database,
     tup: Tuple,
     subset: Iterable[Atom],
+    session=None,
 ) -> bool:
     """``D' in whyNR(t, D, Q)?`` (non-recursive proof trees, Def. 18).
 
@@ -170,7 +205,7 @@ def decide_why_nonrecursive(
     check_over_schema(database, query.program.edb)
     facts = _validated_subset(database, subset)
     if query.is_linear():
-        return decide_why_unambiguous(query, database, tup, facts)
+        return decide_why_unambiguous(query, database, tup, facts, session=session)
     sub_db = Database(facts)
     family = enumerate_why_nonrecursive(query, sub_db, tup)
     return facts in family
@@ -181,6 +216,7 @@ def decide_why_minimal_depth(
     database: Database,
     tup: Tuple,
     subset: Iterable[Atom],
+    session=None,
 ) -> bool:
     """``D' in whyMD(t, D, Q)?`` (minimal-depth proof trees, Def. 26).
 
@@ -188,12 +224,14 @@ def decide_why_minimal_depth(
     (minimality quantifies over all proof trees w.r.t. ``D``; Prop. 28
     computes the minimum in polynomial time). The witnessing tree itself
     lives over ``D'``; if even the best tree over ``D'`` is deeper than
-    the global minimum, membership fails.
+    the global minimum, membership fails. With a *session*, the budget
+    comes from the session's cached ranks — the full-database evaluation
+    is not repeated per query.
     """
     check_over_schema(database, query.program.edb)
     facts = _validated_subset(database, subset)
     fact = query.answer_atom(tup)
-    evaluation = evaluate(query.program, database)
+    evaluation = session.evaluation if session is not None else evaluate(query.program, database)
     if fact not in evaluation.ranks:
         return False
     budget = evaluation.ranks[fact]

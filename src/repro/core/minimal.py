@@ -47,6 +47,7 @@ def smallest_member(
     database: Database,
     tup: Tuple,
     report: Optional[MinimalityReport] = None,
+    session=None,
 ) -> Optional[FrozenSet]:
     """A cardinality-minimum member of ``whyUN(t, D, Q)`` (ties arbitrary).
 
@@ -55,7 +56,7 @@ def smallest_member(
     capping the support size below the incumbent, so the incumbent size
     strictly decreases and the loop runs at most ``|S|`` rounds.
     """
-    encoding = _encode_or_none(query, database, tup)
+    encoding = _encode_or_none(query, database, tup, session)
     if encoding is None:
         return None
     projection = encoding.projection_variables()
@@ -85,6 +86,7 @@ def minimal_members(
     tup: Tuple,
     limit: Optional[int] = None,
     report: Optional[MinimalityReport] = None,
+    session=None,
 ) -> List[FrozenSet]:
     """All subset-minimal members of ``whyUN(t, D, Q)`` (== those of ``why``).
 
@@ -95,7 +97,7 @@ def minimal_members(
     round therefore yields a *new* minimal member, and the loop ends when
     the formula becomes unsatisfiable.
     """
-    encoding = _encode_or_none(query, database, tup)
+    encoding = _encode_or_none(query, database, tup, session)
     if encoding is None:
         return []
     solver = CDCLSolver()
@@ -160,6 +162,7 @@ def members_by_size(
     database: Database,
     tup: Tuple,
     limit: Optional[int] = None,
+    session=None,
 ):
     """Yield the members of ``whyUN(t, D, Q)`` in non-decreasing size.
 
@@ -172,7 +175,7 @@ def members_by_size(
     Yields ``(member, size)`` pairs; stops after *limit* members or when
     the formula is exhausted.
     """
-    encoding = _encode_or_none(query, database, tup)
+    encoding = _encode_or_none(query, database, tup, session)
     if encoding is None:
         return
     projection = encoding.projection_variables()
@@ -209,7 +212,22 @@ def _encode_or_none(
     query: DatalogQuery,
     database: Database,
     tup: Tuple,
+    session=None,
 ) -> Optional[WhyProvenanceEncoding]:
+    """Encode ``phi_(t, D, Q)`` or return ``None`` for non-answers.
+
+    With a *session*, the downward closure comes from the session cache
+    but the encoding itself is rebuilt: the minimality procedures splice
+    totalizer clauses into the CNF, which must not leak into the session's
+    shared encoding.
+    """
+    if session is not None:
+        closure = session.closure_or_none(query.answer_atom(tup))
+        if closure is None:
+            return None
+        return encode_why_provenance(
+            query, database, tup, closure=closure, acyclicity=session.acyclicity
+        )
     try:
         return encode_why_provenance(query, database, tup)
     except FactNotDerivable:

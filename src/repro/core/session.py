@@ -1,0 +1,432 @@
+"""A unified, cache-aware provenance pipeline over one ``(Program, Database)``.
+
+The paper's pipeline — evaluate ``Sigma(D)``, build the graph of rule
+instances, restrict to downward closures, encode to CNF, enumerate supports
+via SAT — historically lived in four layers that each redid grounding work
+from scratch: the engine fired every ground rule instance and threw the
+instances away, the GRI re-matched them against the full model, and the
+deciders/enumerators re-evaluated the program per target fact even when
+dozens of facts shared one ``(D, Sigma)``.
+
+:class:`ProvenanceSession` is the shared front door. It owns a single
+``(DatalogQuery, Database)`` pair and memoizes every derived artifact:
+
+* the :class:`~repro.datalog.engine.EvaluationResult`, computed **exactly
+  once** with ``record_instances=True`` so the engine's own firings feed
+  the GRI (no second matching pass);
+* the full graph of rule instances, built in ``O(|gri|)`` from the
+  recorded trace;
+* per-fact downward closures (reachability restriction of the cached GRI);
+* per-fact CNF encodings, plus warm incremental SAT solvers — one
+  assumption-only solver per encoding for membership decisions, and one
+  blocking-clause enumerator per tuple for incremental ``whyUN``
+  enumeration.
+
+All caches hang off one object, so the session can be invalidated
+(:meth:`invalidate`), forked onto another database (:meth:`fork`), or — in
+later work — snapshotted and distributed per shard.
+
+Typical batch usage (one evaluation, many target facts)::
+
+    session = ProvenanceSession(query, database)
+    for tup in session.answers():
+        members = session.why(tup, limit=10)
+        verdict = session.decide(tup, subset)
+
+The free functions of :mod:`repro.core.decision`,
+:mod:`repro.core.enumerator` and :mod:`repro.core.minimal` remain as thin
+non-cached wrappers; they accept an optional ``session=`` argument to opt
+into the shared caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database, check_over_schema
+from ..datalog.engine import EvaluationResult, evaluate
+from ..datalog.program import DatalogQuery, Program
+from ..provenance.grounding import (
+    DownwardClosure,
+    FactNotDerivable,
+    HyperEdge,
+    RuleInstance,
+    _gri_maps,
+    _restrict_to_reachable,
+    downward_closure,
+)
+from ..sat.solver import CDCLSolver
+from .encoder import WhyProvenanceEncoding, encode_why_provenance
+
+
+@dataclass
+class SessionStats:
+    """Cache and work counters for one session (diagnostics / assertions).
+
+    ``evaluations`` is the headline number: a session evaluates its
+    ``(D, Sigma)`` pair at most once, no matter how many target facts are
+    queried through it.
+    """
+
+    evaluations: int = 0
+    gri_builds: int = 0
+    closure_builds: int = 0
+    closure_hits: int = 0
+    encoding_builds: int = 0
+    encoding_hits: int = 0
+    sat_solver_builds: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "evaluations": self.evaluations,
+            "gri_builds": self.gri_builds,
+            "closure_builds": self.closure_builds,
+            "closure_hits": self.closure_hits,
+            "encoding_builds": self.encoding_builds,
+            "encoding_hits": self.encoding_hits,
+            "sat_solver_builds": self.sat_solver_builds,
+        }
+
+
+class ProvenanceSession:
+    """Instrumented, memoizing pipeline over one ``(query, database)`` pair.
+
+    Parameters
+    ----------
+    query:
+        The Datalog query ``Q = (Sigma, R)``.
+    database:
+        The input database over ``edb(Sigma)`` (validated on construction).
+    method:
+        Evaluation strategy forwarded to the engine (``"seminaive"`` or
+        ``"naive"``).
+    record_instances:
+        Keep the engine's instance trace (default). Turning it off makes
+        closures fall back to demand-driven top-down grounding — useful
+        as a foil when measuring the instrumented path.
+    acyclicity:
+        Default acyclicity encoding for CNF compilations.
+    """
+
+    def __init__(
+        self,
+        query: DatalogQuery,
+        database: Database,
+        method: str = "seminaive",
+        record_instances: bool = True,
+        acyclicity: str = "vertex-elimination",
+    ):
+        check_over_schema(database, query.program.edb)
+        self.query = query
+        self.database = database
+        self.method = method
+        self.record_instances = record_instances
+        self.acyclicity = acyclicity
+        self.stats = SessionStats()
+        self._evaluation: Optional[EvaluationResult] = None
+        self._gri: Optional[
+            Tuple[Dict[Atom, List[HyperEdge]], Dict[Atom, List[RuleInstance]]]
+        ] = None
+        self._closures: Dict[Atom, Optional[DownwardClosure]] = {}
+        self._encodings: Dict[Tuple[Atom, int, str], Optional[WhyProvenanceEncoding]] = {}
+        self._decision_solvers: Dict[Tuple[Atom, int, str], CDCLSolver] = {}
+        self._enumerators: Dict[Tuple[Tuple, str], "WhyProvenanceEnumerator"] = {}
+
+    @classmethod
+    def from_program(
+        cls, program: Program, database: Database, answer: str, **kwargs
+    ) -> "ProvenanceSession":
+        """Build a session from a bare program plus answer predicate."""
+        return cls(DatalogQuery(program, answer), database, **kwargs)
+
+    # -- evaluation layer ---------------------------------------------------
+
+    @property
+    def evaluation(self) -> EvaluationResult:
+        """The fixpoint evaluation, computed once and cached."""
+        if self._evaluation is None:
+            self.stats.evaluations += 1
+            self._evaluation = evaluate(
+                self.query.program,
+                self.database,
+                method=self.method,
+                record_instances=self.record_instances,
+            )
+        return self._evaluation
+
+    @property
+    def model(self) -> Database:
+        """The least model ``Sigma(D)``."""
+        return self.evaluation.model
+
+    @property
+    def ranks(self) -> Dict[Atom, int]:
+        """``fact -> min-dag-depth`` (Proposition 28)."""
+        return self.evaluation.ranks
+
+    def answers(self) -> List[Tuple]:
+        """``Q(D)``: the answer tuples, sorted for determinism."""
+        return sorted(
+            fact.args
+            for fact in self.model.relation(self.query.answer_predicate)
+        )
+
+    def answer_fact(self, tup: Tuple) -> Atom:
+        """``R(t)`` for this session's answer predicate."""
+        return self.query.answer_atom(tup)
+
+    def is_answer(self, tup: Tuple) -> bool:
+        return self.answer_fact(tup) in self.model
+
+    def min_dag_depth(self, tup: Tuple) -> int:
+        """Minimal proof-DAG depth of ``R(t)`` (raises if not an answer)."""
+        fact = self.answer_fact(tup)
+        if fact not in self.ranks:
+            raise FactNotDerivable(f"{fact} is not derivable from the database")
+        return self.ranks[fact]
+
+    # -- grounding layer ----------------------------------------------------
+
+    def _gri_views(
+        self,
+    ) -> Tuple[Dict[Atom, List[HyperEdge]], Dict[Atom, List[RuleInstance]]]:
+        if self._gri is None:
+            self.stats.gri_builds += 1
+            self._gri = _gri_maps(self.query.program, self.database, self.evaluation)
+        return self._gri
+
+    def gri(self) -> Dict[Atom, List[HyperEdge]]:
+        """The full graph of rule instances ``gri(D, Sigma)`` (hyperedge view)."""
+        return self._gri_views()[0]
+
+    def gri_instances(self) -> Dict[Atom, List[RuleInstance]]:
+        """The full GRI in the multiset (rule-instance) view."""
+        return self._gri_views()[1]
+
+    def closure(self, fact: Atom) -> DownwardClosure:
+        """``down(D, Sigma, fact)``, restricted from the cached GRI.
+
+        Raises :class:`FactNotDerivable` when the fact is not in the model.
+        """
+        result = self.closure_or_none(fact)
+        if result is None:
+            raise FactNotDerivable(f"{fact} is not derivable; its closure is empty")
+        return result
+
+    def closure_or_none(self, fact: Atom) -> Optional[DownwardClosure]:
+        """Like :meth:`closure` but returns ``None`` for underivable facts."""
+        if fact in self._closures:
+            self.stats.closure_hits += 1
+            return self._closures[fact]
+        if fact not in self.model:
+            self._closures[fact] = None
+            return None
+        self.stats.closure_builds += 1
+        if self.evaluation.instances is None:
+            # No recorded trace (record_instances=False): stay on the
+            # demand-driven top-down grounding so the session-as-foil
+            # really measures the seed's algorithm, not a full-GRI
+            # re-matching hybrid.
+            closure = downward_closure(
+                self.query.program, self.database, fact, evaluation=self.evaluation
+            )
+        else:
+            edges, instances = self._gri_views()
+            closure = _restrict_to_reachable(fact, edges, self.database, instances)
+        self._closures[fact] = closure
+        return closure
+
+    def closure_for(self, tup: Tuple) -> DownwardClosure:
+        """The downward closure of the answer fact ``R(t)``."""
+        return self.closure(self.answer_fact(tup))
+
+    # -- encoding layer -----------------------------------------------------
+
+    def encoding(
+        self,
+        tup: Tuple,
+        copies: int = 1,
+        acyclicity: Optional[str] = None,
+    ) -> WhyProvenanceEncoding:
+        """The CNF ``phi_(t, D, Q)`` built over the cached closure.
+
+        Raises :class:`FactNotDerivable` when the tuple is not an answer.
+        """
+        result = self.encoding_or_none(tup, copies=copies, acyclicity=acyclicity)
+        if result is None:
+            fact = self.answer_fact(tup)
+            raise FactNotDerivable(f"{fact} is not derivable; its closure is empty")
+        return result
+
+    def encoding_or_none(
+        self,
+        tup: Tuple,
+        copies: int = 1,
+        acyclicity: Optional[str] = None,
+    ) -> Optional[WhyProvenanceEncoding]:
+        """Like :meth:`encoding` but returns ``None`` for non-answers."""
+        fact = self.answer_fact(tup)
+        acyc = self.acyclicity if acyclicity is None else acyclicity
+        key = (fact, copies, acyc)
+        if key in self._encodings:
+            self.stats.encoding_hits += 1
+            return self._encodings[key]
+        closure = self.closure_or_none(fact)
+        if closure is None:
+            self._encodings[key] = None
+            return None
+        self.stats.encoding_builds += 1
+        encoding = encode_why_provenance(
+            self.query,
+            self.database,
+            tup,
+            closure=closure,
+            copies=copies,
+            acyclicity=acyc,
+        )
+        self._encodings[key] = encoding
+        return encoding
+
+    def decision_solver(
+        self,
+        tup: Tuple,
+        copies: int = 1,
+        acyclicity: Optional[str] = None,
+    ) -> Optional[CDCLSolver]:
+        """A warm solver over ``phi_(t, D, Q)`` reserved for assumption queries.
+
+        The solver never receives blocking clauses, so repeated membership
+        decisions for the same tuple reuse its learned clauses instead of
+        re-propagating the formula from scratch. Returns ``None`` when the
+        tuple is not an answer.
+        """
+        encoding = self.encoding_or_none(tup, copies=copies, acyclicity=acyclicity)
+        if encoding is None:
+            return None
+        acyc = self.acyclicity if acyclicity is None else acyclicity
+        key = (self.answer_fact(tup), copies, acyc)
+        solver = self._decision_solvers.get(key)
+        if solver is None:
+            self.stats.sat_solver_builds += 1
+            solver = CDCLSolver()
+            solver.add_cnf(encoding.cnf)
+            self._decision_solvers[key] = solver
+        return solver
+
+    # -- enumeration layer --------------------------------------------------
+
+    def enumerator(
+        self,
+        tup: Tuple,
+        acyclicity: Optional[str] = None,
+    ) -> "WhyProvenanceEnumerator":
+        """A warm incremental enumerator for ``whyUN(t, D, Q)``.
+
+        The enumerator is cached per tuple: successive ``enumerate`` calls
+        continue where the previous left off (the blocking clauses live in
+        the enumerator's solver). Use :meth:`why` for a fresh, repeatable
+        enumeration. Raises :class:`FactNotDerivable` for non-answers.
+        """
+        from .enumerator import WhyProvenanceEnumerator
+
+        acyc = self.acyclicity if acyclicity is None else acyclicity
+        key = (tuple(tup), acyc)
+        enumerator = self._enumerators.get(key)
+        if enumerator is None:
+            self.stats.sat_solver_builds += 1
+            enumerator = WhyProvenanceEnumerator(
+                self.query, self.database, tup, acyclicity=acyc, session=self
+            )
+            self._enumerators[key] = enumerator
+        return enumerator
+
+    def why(
+        self,
+        tup: Tuple,
+        limit: Optional[int] = None,
+        timeout_seconds: Optional[float] = None,
+        acyclicity: Optional[str] = None,
+    ) -> List[FrozenSet[Atom]]:
+        """Members of ``whyUN(t, D, Q)`` from a fresh enumeration pass.
+
+        Repeatable (a new solver each call, over the cached encoding);
+        returns the empty list when the tuple is not an answer.
+        """
+        from .enumerator import WhyProvenanceEnumerator
+
+        acyc = self.acyclicity if acyclicity is None else acyclicity
+        if self.encoding_or_none(tup, acyclicity=acyc) is None:
+            return []
+        self.stats.sat_solver_builds += 1
+        enumerator = WhyProvenanceEnumerator(
+            self.query, self.database, tup, acyclicity=acyc, session=self
+        )
+        return enumerator.members(limit=limit, timeout_seconds=timeout_seconds)
+
+    # -- decision layer -----------------------------------------------------
+
+    def decide(
+        self,
+        tup: Tuple,
+        subset: Iterable[Atom],
+        tree_class: str = "arbitrary",
+    ) -> bool:
+        """``D' in why^X(t, D, Q)?`` through the session caches.
+
+        The default tree class is ``"arbitrary"`` (Definition 2), matching
+        :func:`~repro.core.decision.decide_membership` so migrating calls
+        to the session never flips verdicts silently.
+        """
+        from .decision import decide_membership
+
+        return decide_membership(
+            self.query, self.database, tup, subset, tree_class, session=self
+        )
+
+    def smallest_member(self, tup: Tuple) -> Optional[FrozenSet[Atom]]:
+        """A cardinality-minimum member of ``whyUN(t, D, Q)``."""
+        from .minimal import smallest_member
+
+        return smallest_member(self.query, self.database, tup, session=self)
+
+    def minimal_members(
+        self, tup: Tuple, limit: Optional[int] = None
+    ) -> List[FrozenSet[Atom]]:
+        """All subset-minimal members of ``whyUN(t, D, Q)``."""
+        from .minimal import minimal_members
+
+        return minimal_members(self.query, self.database, tup, limit=limit, session=self)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cached artifact (call after mutating the database)."""
+        self._evaluation = None
+        self._gri = None
+        self._closures.clear()
+        self._encodings.clear()
+        self._decision_solvers.clear()
+        self._enumerators.clear()
+
+    def fork(self, database: Optional[Database] = None) -> "ProvenanceSession":
+        """A fresh session over the same query (optionally a new database).
+
+        The cheap way to explore what-if databases (fault injection,
+        shard-local databases) without poisoning this session's caches.
+        """
+        return ProvenanceSession(
+            self.query,
+            self.database if database is None else database,
+            method=self.method,
+            record_instances=self.record_instances,
+            acyclicity=self.acyclicity,
+        )
+
+    def __repr__(self) -> str:
+        cached = "yes" if self._evaluation is not None else "no"
+        return (
+            f"ProvenanceSession(answer={self.query.answer_predicate!r}, "
+            f"facts={len(self.database)}, evaluated={cached})"
+        )

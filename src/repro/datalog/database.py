@@ -53,13 +53,25 @@ class Database:
         return added
 
     def discard(self, fact: Atom) -> bool:
-        """Remove *fact* if present; return ``True`` iff it was present."""
+        """Remove *fact* if present; return ``True`` iff it was present.
+
+        Emptied index buckets are deleted, not kept around: a database
+        under churn (add/discard cycles over a changing value domain)
+        must not grow without bound in ``_by_pred`` / ``_index`` keys.
+        """
         if fact not in self._facts:
             return False
         self._facts.discard(fact)
-        self._by_pred[fact.pred].discard(fact)
+        bucket = self._by_pred[fact.pred]
+        bucket.discard(fact)
+        if not bucket:
+            del self._by_pred[fact.pred]
         for pos, value in enumerate(fact.args):
-            self._index[(fact.pred, pos, value)].discard(fact)
+            key = (fact.pred, pos, value)
+            entry = self._index[key]
+            entry.discard(fact)
+            if not entry:
+                del self._index[key]
         return True
 
     # -- set protocol -------------------------------------------------------
@@ -115,12 +127,18 @@ class Database:
 
         *bindings* maps argument positions to required constant values. The
         most selective index entry is used as the scan seed.
+
+        The iterator walks a snapshot of the chosen index bucket, so the
+        database may be mutated mid-iteration without corrupting the scan
+        (mutations are simply not reflected in an iteration already in
+        flight; previously the raw index set was aliased and a concurrent
+        ``add``/``discard`` raised ``RuntimeError`` or skipped facts).
         """
         relation = self._by_pred.get(pred)
         if not relation:
             return iter(())
         if not bindings:
-            return iter(relation)
+            return iter(tuple(relation))
         best: Optional[Set[Atom]] = None
         for pos, value in bindings.items():
             candidates = self._index.get((pred, pos, value))
@@ -130,10 +148,10 @@ class Database:
                 best = candidates
         assert best is not None
         if len(bindings) == 1:
-            return iter(best)
+            return iter(tuple(best))
         return (
             fact
-            for fact in best
+            for fact in tuple(best)
             if all(fact.args[pos] == value for pos, value in bindings.items())
         )
 

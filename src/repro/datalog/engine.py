@@ -39,22 +39,46 @@ class EvaluationResult:
         Number of fixpoint rounds executed until saturation.
     derivations:
         Number of (not necessarily new) rule firings, for diagnostics.
+    instances:
+        When the evaluation ran with ``record_instances=True``: every
+        distinct :class:`GroundRule` that fired, i.e. exactly the ground
+        instances of :func:`ground_instances` over the final model, but
+        captured as a side effect of the fixpoint instead of a second
+        matching pass. ``None`` when recording was off.
     """
 
     model: Database
     ranks: Dict[Atom, int]
     rounds: int
     derivations: int = 0
+    instances: Optional[Tuple[GroundRule, ...]] = None
 
     def rank(self, fact: Atom) -> int:
         """The stage of *fact*; raises ``KeyError`` if not in the model."""
         return self.ranks[fact]
 
 
+class _InstanceTrace:
+    """Deduplicating recorder for ground rule instances as they fire."""
+
+    __slots__ = ("items", "_seen")
+
+    def __init__(self):
+        self.items: List[GroundRule] = []
+        self._seen: Set[GroundRule] = set()
+
+    def record(self, rule: Rule, head: Atom, subst) -> None:
+        ground = GroundRule(rule, head, tuple(a.ground(subst) for a in rule.body))
+        if ground not in self._seen:
+            self._seen.add(ground)
+            self.items.append(ground)
+
+
 def evaluate(
     program: Program,
     database: Database,
     method: str = "seminaive",
+    record_instances: bool = False,
 ) -> EvaluationResult:
     """Compute the least model of *program* over *database*.
 
@@ -64,20 +88,34 @@ def evaluate(
         ``"seminaive"`` (default) or ``"naive"``. Both produce identical
         models and identical ranks; naive evaluation exists as an oracle for
         differential testing and as a pedagogical baseline.
+    record_instances:
+        Capture every ground rule instance the moment it first fires and
+        return the trace in ``EvaluationResult.instances``. The recorded
+        set equals ``set(ground_instances(program, model))``: semi-naive
+        evaluation considers each instance in the round after its
+        highest-rank body atom is derived, so nothing is missed. Consumers
+        (the GRI, downward closures, :class:`~repro.core.session.ProvenanceSession`)
+        can then build provenance structures in ``O(|gri|)`` without
+        re-matching rule bodies against the whole model.
     """
     if method == "seminaive":
-        return _evaluate_seminaive(program, database)
+        return _evaluate_seminaive(program, database, record_instances)
     if method == "naive":
-        return _evaluate_naive(program, database)
+        return _evaluate_naive(program, database, record_instances)
     raise ValueError(f"unknown evaluation method {method!r}")
 
 
-def _evaluate_naive(program: Program, database: Database) -> EvaluationResult:
+def _evaluate_naive(
+    program: Program,
+    database: Database,
+    record_instances: bool = False,
+) -> EvaluationResult:
     """Direct iteration of the immediate-consequence operator ``T_Sigma``."""
     model = database.copy()
     ranks: Dict[Atom, int] = {fact: 0 for fact in database}
     derivations = 0
     rounds = 0
+    trace = _InstanceTrace() if record_instances else None
     while True:
         rounds += 1
         new_facts: List[Atom] = []
@@ -85,6 +123,8 @@ def _evaluate_naive(program: Program, database: Database) -> EvaluationResult:
             for subst in match_body(rule.body, model):
                 derivations += 1
                 head = rule.head.ground(subst)
+                if trace is not None:
+                    trace.record(rule, head, subst)
                 if head not in model and head not in ranks:
                     ranks[head] = rounds
                     new_facts.append(head)
@@ -93,10 +133,20 @@ def _evaluate_naive(program: Program, database: Database) -> EvaluationResult:
             break
         for fact in new_facts:
             model.add(fact)
-    return EvaluationResult(model=model, ranks=ranks, rounds=rounds, derivations=derivations)
+    return EvaluationResult(
+        model=model,
+        ranks=ranks,
+        rounds=rounds,
+        derivations=derivations,
+        instances=tuple(trace.items) if trace is not None else None,
+    )
 
 
-def _evaluate_seminaive(program: Program, database: Database) -> EvaluationResult:
+def _evaluate_seminaive(
+    program: Program,
+    database: Database,
+    record_instances: bool = False,
+) -> EvaluationResult:
     """Semi-naive evaluation with per-round deltas.
 
     Round ``i`` only fires rule instantiations in which at least one
@@ -107,6 +157,7 @@ def _evaluate_seminaive(program: Program, database: Database) -> EvaluationResul
     model = database.copy()
     ranks: Dict[Atom, int] = {fact: 0 for fact in database}
     derivations = 0
+    trace = _InstanceTrace() if record_instances else None
 
     idb = program.idb
     # Split rules: those without intensional body atoms fire only in round 1.
@@ -135,6 +186,8 @@ def _evaluate_seminaive(program: Program, database: Database) -> EvaluationResul
                 for subst in match_body(rule.body, model):
                     derivations += 1
                     head = rule.head.ground(subst)
+                    if trace is not None:
+                        trace.record(rule, head, subst)
                     if head not in model and head not in new_delta:
                         ranks[head] = next_round
                         new_delta.add(head)
@@ -146,6 +199,8 @@ def _evaluate_seminaive(program: Program, database: Database) -> EvaluationResul
                 for subst in match_body_with_delta(rule.body, model, delta, pos):
                     derivations += 1
                     head = rule.head.ground(subst)
+                    if trace is not None:
+                        trace.record(rule, head, subst)
                     if head not in model and head not in new_delta:
                         ranks[head] = next_round
                         new_delta.add(head)
@@ -155,7 +210,13 @@ def _evaluate_seminaive(program: Program, database: Database) -> EvaluationResul
         for fact in new_delta:
             model.add(fact)
         delta = new_delta
-    return EvaluationResult(model=model, ranks=ranks, rounds=rounds, derivations=derivations)
+    return EvaluationResult(
+        model=model,
+        ranks=ranks,
+        rounds=rounds,
+        derivations=derivations,
+        instances=tuple(trace.items) if trace is not None else None,
+    )
 
 
 def answers(query: DatalogQuery, database: Database) -> Set[Tuple]:

@@ -5,6 +5,13 @@ tuples uniformly at random (seeded), and for each tuple build the downward
 closure, compile the Boolean formula, and enumerate the members of the
 why-provenance (capped by member count and timeout). The records returned
 carry the Figure 1/3 build times and the Figure 2/4 delay distributions.
+
+By default each database is served through one
+:class:`~repro.core.session.ProvenanceSession`: the program is evaluated
+once with instance recording on, and every sampled tuple's closure is a
+reachability restriction of the shared GRI instead of a fresh matching
+pass. Pass ``use_session=False`` to measure the seed's per-tuple
+re-matching path as a foil.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from ..datalog.database import Database
 from ..datalog.engine import EvaluationResult, evaluate
 from ..datalog.program import DatalogQuery
 from ..core.enumerator import EnumerationReport, WhyProvenanceEnumerator
+from ..core.session import ProvenanceSession
 from ..scenarios.base import Scenario
 from .stats import BoxStats, box_stats
 
@@ -104,10 +112,12 @@ def run_tuple(
     timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
     evaluation: Optional[EvaluationResult] = None,
     acyclicity: str = "vertex-elimination",
+    session: Optional[ProvenanceSession] = None,
 ) -> TupleRun:
     """The per-tuple experiment: build + enumerate with limits."""
     enumerator = WhyProvenanceEnumerator(
-        query, database, tup, acyclicity=acyclicity, evaluation=evaluation
+        query, database, tup, acyclicity=acyclicity, evaluation=evaluation,
+        session=session,
     )
     report: EnumerationReport = enumerator.run(
         limit=member_limit, timeout_seconds=timeout_seconds
@@ -132,15 +142,29 @@ def run_database(
     timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
     seed: int = 7,
     acyclicity: str = "vertex-elimination",
+    use_session: bool = True,
 ) -> DatabaseRun:
-    """Run the full per-database experiment of Section 5.3."""
+    """Run the full per-database experiment of Section 5.3.
+
+    With ``use_session=True`` (default) the sampled tuples share one
+    :class:`ProvenanceSession` — one instrumented evaluation, one GRI,
+    per-tuple closures by restriction. With ``use_session=False`` the
+    seed's path is used: one shared evaluation, but each closure is
+    grounded by re-matching rule bodies (the foil for the instrumented
+    grounding benchmarks).
+    """
     query = scenario.query()
     database = scenario.database(database_name)
     # A scenario database may be shared by several query variants (the
     # Doctors family); each variant sees its slice over edb(Sigma), as the
     # decision problems require a database over the extensional schema.
     database = database.restrict(query.program.edb)
-    evaluation = evaluate(query.program, database)
+    session: Optional[ProvenanceSession] = None
+    if use_session:
+        session = ProvenanceSession(query, database, acyclicity=acyclicity)
+        evaluation = session.evaluation
+    else:
+        evaluation = evaluate(query.program, database)
     tuples = sample_answer_tuples(
         query, database, count=tuples_per_database, seed=seed, evaluation=evaluation
     )
@@ -155,6 +179,7 @@ def run_database(
             timeout_seconds=timeout_seconds,
             evaluation=evaluation,
             acyclicity=acyclicity,
+            session=session,
         )
         for tup in tuples
     ]
@@ -173,6 +198,7 @@ def run_scenario(
     timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
     seed: int = 7,
     acyclicity: str = "vertex-elimination",
+    use_session: bool = True,
 ) -> List[DatabaseRun]:
     """Run every database of a scenario."""
     return [
@@ -184,6 +210,7 @@ def run_scenario(
             timeout_seconds=timeout_seconds,
             seed=seed,
             acyclicity=acyclicity,
+            use_session=use_session,
         )
         for name in scenario.database_names()
     ]

@@ -129,17 +129,22 @@ class FactNotDerivable(ValueError):
     """Raised when the target fact is not in the least model."""
 
 
-def _gri_maps(
-    program: Program,
-    database: Database,
-    evaluation: EvaluationResult,
+def gri_maps_from_instances(
+    ground_rules: Iterable[GroundRule],
 ) -> Tuple[Dict[Atom, List[HyperEdge]], Dict[Atom, List[RuleInstance]]]:
-    """Both views of ``gri(D, Sigma)``: set hyperedges + multiset instances."""
+    """Both views of ``gri(D, Sigma)`` from an explicit instance stream.
+
+    Accepts either the recorded trace of ``evaluate(...,
+    record_instances=True)`` or the output of :func:`ground_instances`;
+    the two are interchangeable (the engine records every instance the
+    round after its last body fact appears). Cost is ``O(|gri|)`` — no
+    body re-matching against the model.
+    """
     edges: Dict[Atom, List[HyperEdge]] = {}
     instances: Dict[Atom, List[RuleInstance]] = {}
     seen_edges: Set[Tuple[Atom, FrozenSet[Atom]]] = set()
     seen_instances: Set[Tuple[Atom, Tuple[Atom, ...]]] = set()
-    for ground in ground_instances(program, evaluation.model):
+    for ground in ground_rules:
         edge_key = (ground.head, ground.body_set())
         if edge_key not in seen_edges:
             seen_edges.add(edge_key)
@@ -154,6 +159,29 @@ def _gri_maps(
     return edges, instances
 
 
+def _gri_maps(
+    program: Program,
+    database: Database,
+    evaluation: EvaluationResult,
+) -> Tuple[Dict[Atom, List[HyperEdge]], Dict[Atom, List[RuleInstance]]]:
+    """Both views of ``gri(D, Sigma)``: set hyperedges + multiset instances.
+
+    Prefers the instrumented trace when the evaluation carries one
+    (``O(|gri|)``); falls back to re-enumerating every ground instance
+    over the model otherwise. The maps are cached on the evaluation
+    object so that per-fact closures share one construction.
+    """
+    cached = getattr(evaluation, "_gri_maps_cache", None)
+    if cached is not None:
+        return cached
+    if evaluation.instances is not None:
+        maps = gri_maps_from_instances(evaluation.instances)
+    else:
+        maps = gri_maps_from_instances(ground_instances(program, evaluation.model))
+    evaluation._gri_maps_cache = maps
+    return maps
+
+
 def rule_instance_graph(
     program: Program,
     database: Database,
@@ -166,7 +194,7 @@ def rule_instance_graph(
     which cannot happen since database predicates are extensional).
     """
     if evaluation is None:
-        evaluation = evaluate(program, database)
+        evaluation = evaluate(program, database, record_instances=True)
     edges, _ = _gri_maps(program, database, evaluation)
     return edges
 
@@ -179,17 +207,29 @@ def downward_closure(
 ) -> DownwardClosure:
     """Compute ``down(D, Sigma, fact)`` demand-driven.
 
-    Instead of materializing the whole GRI and restricting it (which costs
-    time proportional to the model), rule instances are grounded top-down,
-    only for facts already known to be reachable from the target — the
-    closure is usually a small fragment of the model. Raises
-    :class:`FactNotDerivable` if the fact is not in the least model.
+    Two construction strategies, picked automatically:
+
+    * the evaluation carries an instrumented instance trace
+      (``record_instances=True``) — build the full GRI maps once (cached
+      on the evaluation, ``O(|gri|)``, no re-matching) and restrict to the
+      part reachable from the target; amortizes perfectly when many facts
+      share one evaluation, which is how
+      :class:`~repro.core.session.ProvenanceSession` drives it;
+    * no trace — ground rule instances top-down, only for facts already
+      known to be reachable from the target; the closure is usually a
+      small fragment of the model, so this avoids materializing the GRI.
+
+    Raises :class:`FactNotDerivable` if the fact is not in the least model.
     """
     if evaluation is None:
         evaluation = evaluate(program, database)
     model = evaluation.model
     if fact not in model:
         raise FactNotDerivable(f"{fact} is not derivable; its closure is empty")
+
+    if evaluation.instances is not None:
+        edges, instances = _gri_maps(program, database, evaluation)
+        return _restrict_to_reachable(fact, edges, database, instances)
 
     from ..datalog.unify import match_atom, match_body
 

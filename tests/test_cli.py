@@ -72,6 +72,61 @@ class TestWhy:
         assert "member 0:" in out and "member 1:" not in out
 
 
+class TestBatch:
+    def test_explicit_tuples_share_one_evaluation(self, files, capsys):
+        program, database = files
+        code = main([
+            "batch", program, database, "--answer", "tc",
+            "--tuples", "a,b;a,c",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "tc(a, b): 1 members" in captured.out
+        assert "tc(a, c): 2 members" in captured.out
+        assert "2 tuples served by 1 evaluation(s)" in captured.err
+
+    def test_all_answers(self, files, capsys):
+        program, database = files
+        code = main(["batch", program, database, "--answer", "tc", "--all-answers"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "tc(a, b):" in captured.out
+        assert "tc(b, c):" in captured.out
+        assert "1 evaluation(s)" in captured.err
+
+    def test_non_answer_flagged(self, files, capsys):
+        program, database = files
+        code = main([
+            "batch", program, database, "--answer", "tc", "--tuples", "c,a",
+        ])
+        assert code == 1
+        assert "not an answer" in capsys.readouterr().out
+
+    def test_requires_tuples_or_all(self, files):
+        program, database = files
+        with pytest.raises(SystemExit):
+            main(["batch", program, database, "--answer", "tc"])
+
+    def test_tuples_and_all_answers_conflict(self, files):
+        program, database = files
+        with pytest.raises(SystemExit):
+            main([
+                "batch", program, database, "--answer", "tc",
+                "--tuples", "a,b", "--all-answers",
+            ])
+
+    def test_arity_mismatch_does_not_kill_the_batch(self, files, capsys):
+        program, database = files
+        code = main([
+            "batch", program, database, "--answer", "tc", "--tuples", "a,b;a;b,c",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "tc(a): invalid tuple" in out
+        assert "tc(a, b): 1 members" in out
+        assert "tc(b, c): 1 members" in out
+
+
 class TestDecide:
     def test_member(self, files, tmp_path, capsys):
         program, database = files

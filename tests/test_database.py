@@ -105,6 +105,64 @@ class TestMatching:
         db.discard(Atom("e", ("a", "b")))
         assert set(db.matching("e", {0: "a"})) == {Atom("e", ("a", "c"))}
 
+    def test_matching_safe_under_mutation_single_binding(self):
+        # The single-binding path used to alias the raw index set; adding
+        # or discarding mid-iteration then blew up with RuntimeError.
+        db = sample_db()
+        seen = []
+        for fact in db.matching("e", {0: "a"}):
+            db.add(Atom("e", ("a", str(len(seen)))))
+            db.discard(Atom("e", ("b", "c")))
+            seen.append(fact)
+        assert set(seen) == {Atom("e", ("a", "b")), Atom("e", ("a", "c"))}
+
+    def test_matching_safe_under_mutation_no_bindings(self):
+        db = sample_db()
+        seen = []
+        for fact in db.matching("e", {}):
+            db.discard(fact)
+            seen.append(fact)
+        assert len(seen) == 3
+        assert db.count("e") == 0
+
+    def test_matching_safe_under_mutation_multi_binding(self):
+        db = sample_db()
+        seen = []
+        for fact in db.matching("e", {0: "a", 1: "b"}):
+            db.add(Atom("e", ("a", "zz")))
+            seen.append(fact)
+        assert seen == [Atom("e", ("a", "b"))]
+
+
+class TestDiscardCleansIndexes:
+    def test_emptied_buckets_are_deleted(self):
+        # Churn must not leave empty sets behind in the secondary indexes.
+        db = Database()
+        for i in range(100):
+            fact = Atom("p", (f"v{i}", i))
+            db.add(fact)
+            db.discard(fact)
+        assert len(db) == 0
+        assert db._by_pred == {}
+        assert db._index == {}
+        assert db.predicates() == frozenset()
+
+    def test_partial_discard_keeps_shared_buckets(self):
+        db = sample_db()
+        db.discard(Atom("e", ("a", "b")))
+        # ("e", 0, "a") is still inhabited by e(a, c); ("e", 1, "b") is gone.
+        assert ("e", 0, "a") in db._index
+        assert ("e", 1, "b") not in db._index
+        assert set(db.matching("e", {0: "a"})) == {Atom("e", ("a", "c"))}
+
+    def test_discard_then_add_round_trips(self):
+        db = sample_db()
+        fact = Atom("s", ("a",))
+        db.discard(fact)
+        assert "s" not in db.predicates()
+        db.add(fact)
+        assert set(db.matching("s", {0: "a"})) == {fact}
+
 
 class TestRestrictSubset:
     def test_restrict(self):
