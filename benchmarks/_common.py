@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -39,22 +40,45 @@ BENCH_TUPLES = int(os.environ.get("REPRO_BENCH_TUPLES", "3"))
 BENCH_MEMBERS = int(os.environ.get("REPRO_BENCH_MEMBERS", "60"))
 BENCH_TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "4.0"))
 BENCH_USE_SESSION = os.environ.get("REPRO_BENCH_SESSION", "1") != "0"
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 BENCH_JSON_DIR = os.environ.get(
     "REPRO_BENCH_JSON_DIR", os.path.join(os.path.dirname(__file__), "out")
 )
 
-_CACHE: Dict[Tuple[str, str, bool], DatabaseRun] = {}
+_CACHE: Dict[Tuple[str, str, bool, int], DatabaseRun] = {}
+
+
+def git_commit() -> Optional[str]:
+    """The current git commit hash, or ``None`` outside a checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
 
 
 def cached_run(
     scenario_name: str,
     database_name: str,
     use_session: Optional[bool] = None,
+    workers: Optional[int] = None,
 ) -> DatabaseRun:
     """Run (or reuse) the standard experiment for one scenario database."""
     if use_session is None:
         use_session = BENCH_USE_SESSION
-    key = (scenario_name, database_name, use_session)
+    if workers is None:
+        workers = BENCH_WORKERS
+    if not use_session:
+        # The re-matching foil has no parallel mode (run_database rejects
+        # the combination); REPRO_BENCH_WORKERS applies to session runs.
+        workers = 1
+    key = (scenario_name, database_name, use_session, workers)
     if key not in _CACHE:
         scenario = get_scenario(scenario_name)
         _CACHE[key] = run_database(
@@ -65,16 +89,20 @@ def cached_run(
             timeout_seconds=BENCH_TIMEOUT,
             seed=7,
             use_session=use_session,
+            workers=workers,
         )
     return _CACHE[key]
 
 
 def scenario_runs(
-    scenario_name: str, use_session: Optional[bool] = None
+    scenario_name: str,
+    use_session: Optional[bool] = None,
+    workers: Optional[int] = None,
 ) -> List[DatabaseRun]:
+    """Run (or reuse) the standard experiment for every scenario database."""
     scenario = get_scenario(scenario_name)
     return [
-        cached_run(scenario_name, name, use_session=use_session)
+        cached_run(scenario_name, name, use_session=use_session, workers=workers)
         for name in scenario.database_names()
     ]
 
@@ -102,22 +130,27 @@ def run_payload(run: DatabaseRun) -> Dict:
 def write_bench_json(name: str, payload: Dict) -> str:
     """Dump *payload* as ``BENCH_<name>.json`` under :data:`BENCH_JSON_DIR`.
 
-    The envelope records the benchmark configuration so that numbers from
-    different machines / budgets are never compared blind. Returns the
-    path written.
+    The envelope records the benchmark configuration *and* the machine /
+    checkout identity (git commit, Python version, platform, CPU count,
+    worker count) so that perf trajectories are comparable across
+    machines and never compared blind. Returns the path written.
     """
     os.makedirs(BENCH_JSON_DIR, exist_ok=True)
     path = os.path.join(BENCH_JSON_DIR, f"BENCH_{name}.json")
     envelope = {
         "benchmark": name,
         "repro_version": __version__,
+        "git_commit": git_commit(),
         "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
         "unix_time": time.time(),
         "config": {
             "tuples_per_database": BENCH_TUPLES,
             "member_limit": BENCH_MEMBERS,
             "timeout_seconds": BENCH_TIMEOUT,
             "use_session": BENCH_USE_SESSION,
+            "workers": BENCH_WORKERS,
         },
         "data": payload,
     }

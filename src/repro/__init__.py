@@ -27,7 +27,11 @@ from .baselines import (
     single_witness_why,
 )
 from .core import (
+    BatchResult,
+    EvaluationSnapshot,
+    FactResult,
     FORewriting,
+    ParallelProvenanceExplainer,
     ProvenanceSession,
     SessionStats,
     WhyProvenanceEncoding,
@@ -80,7 +84,11 @@ __version__ = "1.1.0"
 
 __all__ = [
     "Atom",
+    "BatchResult",
     "CDCLSolver",
+    "EvaluationSnapshot",
+    "FactResult",
+    "ParallelProvenanceExplainer",
     "CNF",
     "CompressedDAG",
     "Database",

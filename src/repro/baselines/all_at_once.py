@@ -51,6 +51,7 @@ class AllAtOnceReport:
 
     @property
     def total_seconds(self) -> float:
+        """End-to-end time: closure construction plus saturation."""
         return self.closure_seconds + self.saturation_seconds
 
 

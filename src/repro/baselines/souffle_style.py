@@ -130,6 +130,7 @@ class SouffleStyleProvenance:
         self.annotated = annotate(self.program, self.database)
 
     def holds(self, fact: Atom) -> bool:
+        """Whether *fact* is in the least model."""
         return fact in self.annotated.model
 
     def height(self, fact: Atom) -> int:

@@ -61,6 +61,7 @@ class TopDownStatistics:
     fixpoint_passes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for reports and assertions)."""
         return {
             "subgoal_calls": self.subgoal_calls,
             "table_hits": self.table_hits,

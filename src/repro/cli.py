@@ -18,7 +18,9 @@ Eight subcommands expose the library to shell users::
 :class:`~repro.core.session.ProvenanceSession` evaluates ``(D, Sigma)``
 exactly once and serves every target tuple from the shared instrumented
 grounding, instead of re-evaluating per tuple like repeated ``why`` calls
-would.
+would. With ``--workers N`` the tuples are sharded across a forked
+worker pool (``--workers 0`` = one per core) after that single
+evaluation; results are identical to the serial run, in the same order.
 
 Programs and databases use the textual Datalog syntax of
 :mod:`repro.datalog.parser`; tuples are comma-separated constants (decimal
@@ -121,6 +123,23 @@ def _cmd_why(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_fact_result(result, answer_predicate: str) -> bool:
+    """Print one batch result; return ``True`` if it counts as a failure."""
+    inner = ", ".join(str(t) for t in result.tuple_value)
+    label = f"{answer_predicate}({inner})"
+    if result.error is not None:
+        print(f"{label}: invalid tuple ({result.error})")
+        return True
+    if not result.is_answer:
+        print(f"{label}: not an answer")
+        return True
+    print(f"{label}: {len(result.members)} members")
+    for index, member in enumerate(result.members):
+        facts = " ".join(sorted(f"{fact}." for fact in member))
+        print(f"  member {index}: {facts}")
+    return False
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     query, database = _load_query(args)
     session = ProvenanceSession(query, database)
@@ -129,30 +148,50 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     else:
         tuples = [parse_tuple(part) for part in args.tuples.split(";") if part.strip()]
     failures = 0
-    for tup in tuples:
-        inner = ", ".join(str(t) for t in tup)
-        label = f"{query.answer_predicate}({inner})"
-        try:
-            is_answer = session.is_answer(tup)
-        except ValueError as exc:  # e.g. arity mismatch: skip, keep batching
-            print(f"{label}: invalid tuple ({exc})")
-            failures += 1
-            continue
-        if not is_answer:
-            print(f"{label}: not an answer")
-            failures += 1
-            continue
-        members = session.why(tup, limit=args.limit, timeout_seconds=args.timeout)
-        print(f"{label}: {len(members)} members")
-        for index, member in enumerate(members):
-            facts = " ".join(sorted(f"{fact}." for fact in member))
-            print(f"  member {index}: {facts}")
-    stats = session.stats
-    print(
-        f"% {len(tuples)} tuples served by {stats.evaluations} evaluation(s), "
-        f"{stats.gri_builds} GRI build(s), {stats.closure_builds} closure(s)",
-        file=sys.stderr,
+    if args.workers == 1:
+        # Serial: stream each tuple's members as they are enumerated
+        # (the same per-fact routine the workers run, printed eagerly)
+        # instead of materializing the whole batch before the first line.
+        from .core.parallel import explain_fact
+
+        for index, tup in enumerate(tuples):
+            result = explain_fact(
+                session, tup, index=index,
+                limit=args.limit, timeout_seconds=args.timeout,
+            )
+            failures += _print_fact_result(result, query.answer_predicate)
+        stats = session.stats
+        print(
+            f"% {len(tuples)} tuples served by {stats.evaluations} evaluation(s), "
+            f"{stats.gri_builds} GRI build(s), {stats.closure_builds} closure(s)",
+            file=sys.stderr,
+        )
+        return 1 if failures else 0
+    batch = session.explain_batch(
+        tuples,
+        workers=args.workers,  # 0 = one per core (explainer convention)
+        limit=args.limit,
+        timeout_seconds=args.timeout,
+        chunk_size=args.chunk_size,
     )
+    for result in batch.results:
+        failures += _print_fact_result(result, query.answer_predicate)
+    if batch.parallel:
+        print(
+            f"% {len(tuples)} tuples sharded over {batch.workers} worker(s) "
+            f"(chunk size {batch.chunk_size}, snapshot {batch.snapshot_bytes} bytes, "
+            f"{batch.total_seconds:.3f}s)",
+            file=sys.stderr,
+        )
+    else:
+        stats = session.stats
+        if batch.fallback_reason is not None:
+            print(f"% serial fallback: {batch.fallback_reason}", file=sys.stderr)
+        print(
+            f"% {len(tuples)} tuples served by {stats.evaluations} evaluation(s), "
+            f"{stats.gri_builds} GRI build(s), {stats.closure_builds} closure(s)",
+            file=sys.stderr,
+        )
     return 1 if failures else 0
 
 
@@ -235,6 +274,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for every subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Why-provenance for Datalog queries via SAT.",
@@ -280,6 +320,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument("--limit", type=int, default=None, help="max members per tuple")
     p_batch.add_argument("--timeout", type=float, default=None, help="seconds per tuple")
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 shards tuples across a pool after one "
+        "shared evaluation, 0 means one per core (default: 1, serial)",
+    )
+    p_batch.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="tuples per parallel work unit (default: ~4 chunks per worker)",
+    )
     p_batch.set_defaults(func=_cmd_batch)
 
     p_decide = sub.add_parser("decide", help="decide membership of a subset")
@@ -328,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -50,10 +50,22 @@ from .fo_rewriting import (
     enumerate_symbolic_trees,
     rewrite,
 )
+from .parallel import (
+    BatchResult,
+    EvaluationSnapshot,
+    FactResult,
+    ParallelProvenanceExplainer,
+    explain_fact,
+)
 from .session import ProvenanceSession, SessionStats
 
 __all__ = [
+    "BatchResult",
     "EncodingStats",
+    "EvaluationSnapshot",
+    "FactResult",
+    "ParallelProvenanceExplainer",
+    "explain_fact",
     "ProvenanceSession",
     "SessionStats",
     "EnumerationReport",

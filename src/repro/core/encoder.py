@@ -117,7 +117,10 @@ class WhyProvenanceEncoding:
         for fact in sorted(closure.nodes, key=str):
             for i in range(self._copies_of(fact)):
                 self.node_vars[(fact, i)] = self.pool.var(("x", fact, i))
-        for fact in closure.database_nodes:
+        # Sorted so the blocking-clause literal order (and with it the
+        # solver's member discovery order) is identical in every process,
+        # not dependent on frozenset hash order.
+        for fact in sorted(closure.database_nodes, key=str):
             self.database_fact_vars[fact] = self.node_vars[(fact, 0)]
         root: NodeKey = (root_fact, 0)
 

@@ -61,6 +61,7 @@ class InducedCQ:
     depth: int
 
     def variables(self) -> Set[Variable]:
+        """All variables of the induced conjunctive query."""
         out: Set[Variable] = set()
         for atom in self.atoms:
             out |= atom.variables()

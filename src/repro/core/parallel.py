@@ -1,0 +1,471 @@
+"""Parallel batch why-provenance: shard target facts across worker processes.
+
+The paper's experiments (Figures 1-3) measure why-provenance over *many*
+target facts per database. :class:`~repro.core.session.ProvenanceSession`
+already amortizes evaluation and grounding across those facts, but it
+serves them strictly sequentially on one core. This module adds the
+serving-scale layer on top: a batch of target tuples is sharded across a
+``multiprocessing`` worker pool, with the expensive fixpoint evaluation
+done **exactly once** in the parent.
+
+Design
+------
+
+* :class:`EvaluationSnapshot` — the minimal picklable state a worker needs:
+  the query, the database, and the recorded
+  :class:`~repro.datalog.engine.EvaluationResult` (model, ranks, instance
+  trace). It is pickled **once** in the parent; every worker unpickles it
+  once in its pool initializer and rehydrates a private
+  :class:`~repro.core.session.ProvenanceSession` around it. Workers then
+  ground (GRI restriction), encode (CNF) and solve (CDCL enumeration)
+  per fact — exactly the per-fact work, never the evaluation.
+* :class:`ParallelProvenanceExplainer` — the pool driver. Tuples are cut
+  into contiguous chunks that workers *pull* from the shared task queue
+  (``imap_unordered`` with ``chunksize=1``), so a worker that drew facts
+  with small downward closures steals the next chunk instead of idling
+  behind one with a giant closure. Results carry their batch index and are
+  re-ordered in the parent, so the output is deterministic regardless of
+  completion order.
+* Serial fallback — ``workers=1``, a batch smaller than two facts, an
+  unavailable ``fork`` start method, or a snapshot that fails to pickle
+  all fall back to running the same per-fact routine in-process through
+  the parent session. The results are identical either way (same members,
+  same order); :attr:`BatchResult.fallback_reason` records why.
+
+Determinism
+-----------
+
+Workers are forked, so they inherit the parent's hash seed: closure
+construction, CNF variable numbering, and CDCL member discovery order are
+bit-for-bit the processes' replay of what the parent session would do.
+``tests/test_parallel.py`` asserts parallel output equals serial output —
+same witnesses, same order — across scenarios.
+
+Typical usage::
+
+    session = ProvenanceSession(query, database)
+    batch = session.explain_batch(workers=4, limit=100)
+    for result in batch.results:
+        print(result.tuple_value, len(result.members))
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..datalog.database import Database
+from ..datalog.engine import EvaluationResult
+from ..datalog.program import DatalogQuery
+from ..provenance.grounding import FactNotDerivable
+from .session import ProvenanceSession
+
+#: Upper bound on pool size when ``workers=None`` asks for "all cores".
+MAX_AUTO_WORKERS = 16
+
+
+def default_worker_count() -> int:
+    """The pool size used when ``workers`` is not given: one per core.
+
+    Respects CPU affinity masks (containers, ``taskset``) where the
+    platform exposes them, and is capped at :data:`MAX_AUTO_WORKERS`.
+    """
+    try:
+        available = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        available = os.cpu_count() or 1
+    return max(1, min(available, MAX_AUTO_WORKERS))
+
+
+@dataclass
+class FactResult:
+    """The outcome of explaining one target tuple of a batch.
+
+    Mirrors one :class:`~repro.harness.runner.TupleRun` cell plus batch
+    bookkeeping: the batch ``index`` (results are re-ordered on it), the
+    wall-clock ``seconds`` the fact took end to end in its process, and an
+    ``error`` string for tuples that could not be served (arity mismatch).
+    A derivable tuple has ``is_answer=True`` and its members of
+    ``whyUN(t, D, Q)`` in solver discovery order; a non-answer has
+    ``is_answer=False`` and no members.
+    """
+
+    index: int
+    tuple_value: Tuple
+    members: List[FrozenSet] = field(default_factory=list)
+    is_answer: bool = False
+    closure_seconds: float = 0.0
+    formula_seconds: float = 0.0
+    delays: List[float] = field(default_factory=list)
+    exhausted: bool = False
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the tuple was served (it may still be a non-answer)."""
+        return self.error is None
+
+    @property
+    def build_seconds(self) -> float:
+        """Closure plus formula construction (the Figure 1 quantity)."""
+        return self.closure_seconds + self.formula_seconds
+
+
+@dataclass
+class BatchResult:
+    """An ordered batch of :class:`FactResult` plus execution metadata.
+
+    ``results[i]`` corresponds to the ``i``-th input tuple no matter which
+    worker served it or when it finished. ``workers`` is the *effective*
+    pool size (1 when the serial fallback ran), and ``fallback_reason``
+    says why a parallel request was served serially (``None`` when the
+    pool ran, or when serial execution was requested outright).
+    """
+
+    results: List[FactResult]
+    workers: int
+    chunk_size: int
+    total_seconds: float
+    evaluation_seconds: float
+    snapshot_bytes: int = 0
+    fallback_reason: Optional[str] = None
+
+    @property
+    def parallel(self) -> bool:
+        """Whether a worker pool actually served the batch."""
+        return self.workers > 1
+
+    @property
+    def throughput(self) -> float:
+        """Tuples served per second of batch wall-clock time."""
+        if self.total_seconds <= 0:
+            return float("inf")
+        return len(self.results) / self.total_seconds
+
+    def members_by_tuple(self) -> Dict[Tuple, List[FrozenSet]]:
+        """``tuple -> members`` for every successfully served tuple."""
+        return {r.tuple_value: r.members for r in self.results if r.ok}
+
+    def failures(self) -> List[FactResult]:
+        """Results that errored or were not answers."""
+        return [r for r in self.results if not r.ok or not r.is_answer]
+
+
+class EvaluationSnapshot:
+    """The one-time picklable state a worker needs to rebuild a session.
+
+    Captures the query, the database, and the parent's
+    :class:`~repro.datalog.engine.EvaluationResult` — model, ranks, and
+    the recorded instance trace that lets workers build downward closures
+    in ``O(|closure|)`` without re-matching rule bodies. Derived caches
+    (GRI maps, closures, encodings, solvers) are deliberately *not*
+    captured: they are cheap to rebuild per fact and expensive to ship.
+    """
+
+    def __init__(
+        self,
+        query: DatalogQuery,
+        database: Database,
+        evaluation: EvaluationResult,
+        method: str = "seminaive",
+        acyclicity: str = "vertex-elimination",
+    ):
+        self.query = query
+        self.database = database
+        self.evaluation = evaluation
+        self.method = method
+        self.acyclicity = acyclicity
+
+    @classmethod
+    def capture(cls, session: ProvenanceSession) -> "EvaluationSnapshot":
+        """Snapshot a session, forcing its one-time evaluation if needed."""
+        evaluation = session.evaluation
+        # Re-wrap to shed the GRI maps memoized on the evaluation object
+        # (they roughly double the payload and are re-derivable from the
+        # instance trace in linear time).
+        pruned = EvaluationResult(
+            model=evaluation.model,
+            ranks=evaluation.ranks,
+            rounds=evaluation.rounds,
+            derivations=evaluation.derivations,
+            instances=evaluation.instances,
+        )
+        return cls(
+            query=session.query,
+            database=session.database,
+            evaluation=pruned,
+            method=session.method,
+            acyclicity=session.acyclicity,
+        )
+
+    def restore(self) -> ProvenanceSession:
+        """Rehydrate a fresh session with the evaluation pre-installed."""
+        session = ProvenanceSession(
+            self.query,
+            self.database,
+            method=self.method,
+            record_instances=self.evaluation.instances is not None,
+            acyclicity=self.acyclicity,
+        )
+        session._evaluation = self.evaluation
+        return session
+
+    def to_bytes(self) -> bytes:
+        """Pickle the snapshot (raises if some component is unpicklable)."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_bytes(blob: bytes) -> "EvaluationSnapshot":
+        """Inverse of :meth:`to_bytes`."""
+        return pickle.loads(blob)
+
+
+def explain_fact(
+    session: ProvenanceSession,
+    tup: Tuple,
+    index: int = 0,
+    limit: Optional[int] = None,
+    timeout_seconds: Optional[float] = None,
+) -> FactResult:
+    """Serve one target tuple through *session*: the shared per-fact routine.
+
+    Both the serial path and every pool worker run exactly this function,
+    which is what makes parallel output provably comparable to serial
+    output. Invalid tuples (arity mismatch) are reported in
+    :attr:`FactResult.error` instead of aborting the batch.
+    """
+    from .enumerator import WhyProvenanceEnumerator
+
+    started = time.perf_counter()
+    try:
+        is_answer = session.is_answer(tup)
+    except ValueError as exc:
+        return FactResult(
+            index=index,
+            tuple_value=tuple(tup),
+            error=str(exc),
+            seconds=time.perf_counter() - started,
+        )
+    if not is_answer:
+        return FactResult(
+            index=index,
+            tuple_value=tuple(tup),
+            is_answer=False,
+            exhausted=True,
+            seconds=time.perf_counter() - started,
+        )
+    try:
+        enumerator = WhyProvenanceEnumerator(
+            session.query, session.database, tup, acyclicity=session.acyclicity,
+            session=session,
+        )
+    except FactNotDerivable:  # cannot happen after is_answer, but stay safe
+        return FactResult(
+            index=index,
+            tuple_value=tuple(tup),
+            is_answer=False,
+            exhausted=True,
+            seconds=time.perf_counter() - started,
+        )
+    records = list(
+        enumerator.enumerate(limit=limit, timeout_seconds=timeout_seconds)
+    )
+    return FactResult(
+        index=index,
+        tuple_value=tuple(tup),
+        members=[record.support for record in records],
+        is_answer=True,
+        closure_seconds=enumerator.closure_seconds,
+        formula_seconds=enumerator.formula_seconds,
+        delays=[record.delay_seconds for record in records],
+        exhausted=enumerator._exhausted,
+        seconds=time.perf_counter() - started,
+    )
+
+
+# -- worker-side plumbing ----------------------------------------------------
+#
+# The pool initializer rehydrates one session per worker process from the
+# snapshot bytes; chunk tasks then only carry (index, tuple) pairs.
+
+_WORKER_SESSION: Optional[ProvenanceSession] = None
+
+
+def _init_worker(snapshot_blob: bytes) -> None:
+    """Pool initializer: unpickle the snapshot once, rehydrate the session."""
+    global _WORKER_SESSION
+    _WORKER_SESSION = EvaluationSnapshot.from_bytes(snapshot_blob).restore()
+
+
+def _run_chunk(
+    payload: Tuple[List[Tuple[int, Tuple]], Optional[int], Optional[float]],
+) -> List[FactResult]:
+    """Serve one chunk of ``(index, tuple)`` pairs in a worker process."""
+    chunk, limit, timeout_seconds = payload
+    assert _WORKER_SESSION is not None, "worker initialized without a snapshot"
+    return [
+        explain_fact(
+            _WORKER_SESSION, tup, index=index,
+            limit=limit, timeout_seconds=timeout_seconds,
+        )
+        for index, tup in chunk
+    ]
+
+
+class ParallelProvenanceExplainer:
+    """Shard a batch of target facts across a worker pool.
+
+    Parameters
+    ----------
+    session:
+        The parent :class:`~repro.core.session.ProvenanceSession`. Its
+        (one-time) evaluation is forced here, in the parent, and shipped
+        to the workers as a pickled snapshot.
+    workers:
+        Pool size; ``None`` or ``0`` means one per available core (capped
+        at :data:`MAX_AUTO_WORKERS`) — every entry point (CLI
+        ``--workers 0``, ``REPRO_BENCH_WORKERS=0``, the Python API)
+        shares that meaning. ``1`` selects the serial path.
+    chunk_size:
+        Tuples per work unit. Small chunks approximate work stealing —
+        workers finishing early pull more — at the price of a little more
+        queue traffic. Default: about four chunks per worker.
+    start_method:
+        ``multiprocessing`` start method. Only ``"fork"`` guarantees that
+        workers inherit the parent's hash seed (and with it bit-identical
+        member ordering); when unavailable the explainer falls back to
+        serial execution rather than silently losing determinism.
+    """
+
+    def __init__(
+        self,
+        session: ProvenanceSession,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: str = "fork",
+    ):
+        self.session = session
+        self.workers = default_worker_count() if not workers else max(1, workers)
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+
+    # -- public API ---------------------------------------------------------
+
+    def explain_batch(
+        self,
+        tuples: Optional[Sequence[Tuple]] = None,
+        limit: Optional[int] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> BatchResult:
+        """Explain every tuple of the batch; results in input order.
+
+        ``tuples=None`` serves every answer of ``Q(D)`` (sorted). The
+        parent always evaluates first — serial and parallel paths share
+        that cost identically — then the per-fact work is either looped
+        in-process or sharded over the pool.
+        """
+        eval_start = time.perf_counter()
+        self.session.evaluation  # force the one-time evaluation in the parent
+        evaluation_seconds = time.perf_counter() - eval_start
+        if tuples is None:
+            tuples = self.session.answers()
+        tuples = [tuple(t) for t in tuples]
+
+        workers = min(self.workers, max(1, len(tuples)))
+        if workers <= 1:
+            reason = None if self.workers <= 1 else "batch smaller than two tuples"
+            return self._serial(
+                tuples, limit, timeout_seconds, evaluation_seconds, reason
+            )
+        if self.start_method not in multiprocessing.get_all_start_methods():
+            return self._serial(
+                tuples, limit, timeout_seconds, evaluation_seconds,
+                f"start method {self.start_method!r} unavailable",
+            )
+        try:
+            blob = EvaluationSnapshot.capture(self.session).to_bytes()
+        except Exception as exc:  # unpicklable component: stay correct
+            return self._serial(
+                tuples, limit, timeout_seconds, evaluation_seconds,
+                f"snapshot not picklable: {exc}",
+            )
+        return self._pooled(
+            tuples, limit, timeout_seconds, workers, blob, evaluation_seconds
+        )
+
+    # -- execution paths ----------------------------------------------------
+
+    def _effective_chunk_size(self, n: int, workers: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        # ~4 chunks per worker: coarse enough to amortize IPC, fine enough
+        # that one skewed closure does not serialize the tail.
+        return max(1, -(-n // (workers * 4)))
+
+    def _serial(
+        self,
+        tuples: List[Tuple],
+        limit: Optional[int],
+        timeout_seconds: Optional[float],
+        evaluation_seconds: float,
+        reason: Optional[str],
+    ) -> BatchResult:
+        started = time.perf_counter()
+        results = [
+            explain_fact(
+                self.session, tup, index=index,
+                limit=limit, timeout_seconds=timeout_seconds,
+            )
+            for index, tup in enumerate(tuples)
+        ]
+        return BatchResult(
+            results=results,
+            workers=1,
+            chunk_size=len(tuples) or 1,
+            total_seconds=time.perf_counter() - started,
+            evaluation_seconds=evaluation_seconds,
+            fallback_reason=reason,
+        )
+
+    def _pooled(
+        self,
+        tuples: List[Tuple],
+        limit: Optional[int],
+        timeout_seconds: Optional[float],
+        workers: int,
+        snapshot_blob: bytes,
+        evaluation_seconds: float,
+    ) -> BatchResult:
+        started = time.perf_counter()
+        chunk_size = self._effective_chunk_size(len(tuples), workers)
+        tasks = list(enumerate(tuples))
+        payloads = [
+            (tasks[offset : offset + chunk_size], limit, timeout_seconds)
+            for offset in range(0, len(tasks), chunk_size)
+        ]
+        context = multiprocessing.get_context(self.start_method)
+        results: List[FactResult] = []
+        with context.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(snapshot_blob,),
+        ) as pool:
+            # chunksize=1 keeps the pool's own batching out of the way:
+            # each worker pulls exactly one payload at a time, which is
+            # the work-stealing behavior for skewed closure sizes.
+            for part in pool.imap_unordered(_run_chunk, payloads, chunksize=1):
+                results.extend(part)
+        results.sort(key=lambda r: r.index)
+        return BatchResult(
+            results=results,
+            workers=workers,
+            chunk_size=chunk_size,
+            total_seconds=time.perf_counter() - started,
+            evaluation_seconds=evaluation_seconds,
+            snapshot_bytes=len(snapshot_blob),
+        )

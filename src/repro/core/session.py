@@ -79,6 +79,7 @@ class SessionStats:
     sat_solver_builds: int = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for reports and assertions)."""
         return {
             "evaluations": self.evaluations,
             "gri_builds": self.gri_builds,
@@ -178,6 +179,7 @@ class ProvenanceSession:
         return self.query.answer_atom(tup)
 
     def is_answer(self, tup: Tuple) -> bool:
+        """Whether ``R(t)`` is in the least model (i.e. ``t in Q(D)``)."""
         return self.answer_fact(tup) in self.model
 
     def min_dag_depth(self, tup: Tuple) -> int:
@@ -398,6 +400,37 @@ class ProvenanceSession:
         from .minimal import minimal_members
 
         return minimal_members(self.query, self.database, tup, limit=limit, session=self)
+
+    # -- batch layer ---------------------------------------------------------
+
+    def explain_batch(
+        self,
+        tuples: Optional[Iterable[Tuple]] = None,
+        workers: Optional[int] = 1,
+        limit: Optional[int] = None,
+        timeout_seconds: Optional[float] = None,
+        chunk_size: Optional[int] = None,
+    ) -> "BatchResult":
+        """Explain many target tuples, optionally across a worker pool.
+
+        ``tuples=None`` serves every answer of ``Q(D)``. With
+        ``workers > 1`` the batch is sharded over forked worker processes
+        by :class:`~repro.core.parallel.ParallelProvenanceExplainer`: the
+        session is evaluated once here in the parent, snapshotted, and
+        each worker grounds/encodes/solves its share of the facts.
+        Results come back in input order and are identical to the serial
+        path (``workers=1``), which runs in-process through this
+        session's caches. ``workers=None`` (or ``0``) uses one worker
+        per core.
+        """
+        from .parallel import ParallelProvenanceExplainer
+
+        explainer = ParallelProvenanceExplainer(
+            self, workers=workers, chunk_size=chunk_size
+        )
+        return explainer.explain_batch(
+            tuples=tuples, limit=limit, timeout_seconds=timeout_seconds
+        )
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -38,6 +38,12 @@ class Atom:
     def __setattr__(self, key, value):
         raise AttributeError("Atom is immutable")
 
+    def __reduce__(self):
+        # Slots + a blocking __setattr__ defeat the default pickle
+        # machinery; rebuild through the constructor (also re-derives the
+        # cached hash, which is process-specific under hash randomization).
+        return (Atom, (self.pred, self.args))
+
     # -- identity ---------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:

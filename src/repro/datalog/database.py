@@ -74,6 +74,15 @@ class Database:
                 del self._index[key]
         return True
 
+    # -- pickling ----------------------------------------------------------
+
+    def __reduce__(self):
+        # Ship only the fact set; the per-predicate and per-position
+        # indexes are derived data, roughly tripling the payload if
+        # pickled. Rebuilding them on load is linear in the facts — the
+        # right trade for snapshots crossing process boundaries.
+        return (Database, (tuple(self._facts),))
+
     # -- set protocol -------------------------------------------------------
 
     def __contains__(self, fact: object) -> bool:

@@ -65,6 +65,11 @@ class Program:
     def __setattr__(self, key, value):
         raise AttributeError("Program is immutable")
 
+    def __reduce__(self):
+        # Pickle only the rules; the schema split, arities, and head index
+        # are re-derived by the constructor on load.
+        return (Program, (self.rules,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Program) and set(self.rules) == set(other.rules)
 
@@ -296,6 +301,9 @@ class DatalogQuery:
 
     def __setattr__(self, key, value):
         raise AttributeError("DatalogQuery is immutable")
+
+    def __reduce__(self):
+        return (DatalogQuery, (self.program, self.answer_predicate))
 
     def __eq__(self, other: object) -> bool:
         return (

@@ -40,6 +40,11 @@ class Rule:
     def __setattr__(self, key, value):
         raise AttributeError("Rule is immutable")
 
+    def __reduce__(self):
+        # Constructor-based pickling: slots + the blocking __setattr__
+        # defeat the default protocol, and re-validation on load is cheap.
+        return (Rule, (self.head, self.body))
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Rule)
@@ -136,6 +141,12 @@ class GroundRule:
 
     def __setattr__(self, key, value):
         raise AttributeError("GroundRule is immutable")
+
+    def __reduce__(self):
+        # The pickle memo shares the originating Rule across the many
+        # ground instances of an evaluation trace, so a snapshot ships
+        # each rule once no matter how often it fired.
+        return (GroundRule, (self.rule, self.head, self.body))
 
     def __eq__(self, other: object) -> bool:
         # Two ground rules with the same ground head and body are the same

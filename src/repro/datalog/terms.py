@@ -29,6 +29,13 @@ class Variable:
     def __setattr__(self, key, value):
         raise AttributeError("Variable is immutable")
 
+    def __reduce__(self):
+        # Slots + a blocking __setattr__ defeat the default pickle
+        # machinery; rebuilding through the constructor keeps instances
+        # picklable (the parallel provenance service ships rules across
+        # worker processes).
+        return (Variable, (self.name,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Variable) and self.name == other.name
 

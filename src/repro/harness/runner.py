@@ -11,7 +11,10 @@ By default each database is served through one
 once with instance recording on, and every sampled tuple's closure is a
 reachability restriction of the shared GRI instead of a fresh matching
 pass. Pass ``use_session=False`` to measure the seed's per-tuple
-re-matching path as a foil.
+re-matching path as a foil, or ``workers > 1`` to shard the sampled
+tuples across the worker pool of
+:class:`~repro.core.parallel.ParallelProvenanceExplainer` (one parent
+evaluation, per-fact grounding/encoding/solving in forked workers).
 """
 
 from __future__ import annotations
@@ -50,9 +53,11 @@ class TupleRun:
 
     @property
     def build_seconds(self) -> float:
+        """Closure plus formula construction (one bar of Figure 1)."""
         return self.closure_seconds + self.formula_seconds
 
     def delay_box(self) -> Optional[BoxStats]:
+        """Five-number summary of the delays (``None`` if no members)."""
         if not self.delays:
             return None
         return box_stats(self.delays)
@@ -68,9 +73,11 @@ class DatabaseRun:
     tuple_runs: List[TupleRun]
 
     def build_times(self) -> List[float]:
+        """Per-tuple build times (one Figure 1/3 bar group)."""
         return [run.build_seconds for run in self.tuple_runs]
 
     def pooled_delays(self) -> List[float]:
+        """All delays of all tuple runs pooled (one Figure 2/4 box)."""
         delays: List[float] = []
         for run in self.tuple_runs:
             delays.extend(run.delays)
@@ -143,6 +150,7 @@ def run_database(
     seed: int = 7,
     acyclicity: str = "vertex-elimination",
     use_session: bool = True,
+    workers: int = 1,
 ) -> DatabaseRun:
     """Run the full per-database experiment of Section 5.3.
 
@@ -151,7 +159,9 @@ def run_database(
     per-tuple closures by restriction. With ``use_session=False`` the
     seed's path is used: one shared evaluation, but each closure is
     grounded by re-matching rule bodies (the foil for the instrumented
-    grounding benchmarks).
+    grounding benchmarks). With ``workers > 1`` (requires the session
+    path) the sampled tuples are sharded across a forked worker pool; the
+    per-tuple measurements are then taken inside the workers.
     """
     query = scenario.query()
     database = scenario.database(database_name)
@@ -159,6 +169,14 @@ def run_database(
     # Doctors family); each variant sees its slice over edb(Sigma), as the
     # decision problems require a database over the extensional schema.
     database = database.restrict(query.program.edb)
+    if workers != 1 and not use_session:
+        # Refuse rather than silently running serial: the BENCH_*.json
+        # envelope records the requested worker count, and a serial run
+        # labeled "4 workers" would poison cross-machine comparisons.
+        raise ValueError(
+            "workers != 1 requires the session path (use_session=True); "
+            "the re-matching foil has no parallel mode"
+        )
     session: Optional[ProvenanceSession] = None
     if use_session:
         session = ProvenanceSession(query, database, acyclicity=acyclicity)
@@ -168,21 +186,42 @@ def run_database(
     tuples = sample_answer_tuples(
         query, database, count=tuples_per_database, seed=seed, evaluation=evaluation
     )
-    runs = [
-        run_tuple(
-            query,
-            database,
-            tup,
-            scenario_name=scenario.name,
-            database_name=database_name,
-            member_limit=member_limit,
+    if workers != 1 and session is not None:
+        batch = session.explain_batch(
+            tuples,
+            workers=workers,
+            limit=member_limit,
             timeout_seconds=timeout_seconds,
-            evaluation=evaluation,
-            acyclicity=acyclicity,
-            session=session,
         )
-        for tup in tuples
-    ]
+        runs = [
+            TupleRun(
+                scenario=scenario.name,
+                database=database_name,
+                tuple_value=result.tuple_value,
+                closure_seconds=result.closure_seconds,
+                formula_seconds=result.formula_seconds,
+                members=len(result.members),
+                delays=result.delays,
+                exhausted=result.exhausted,
+            )
+            for result in batch.results
+        ]
+    else:
+        runs = [
+            run_tuple(
+                query,
+                database,
+                tup,
+                scenario_name=scenario.name,
+                database_name=database_name,
+                member_limit=member_limit,
+                timeout_seconds=timeout_seconds,
+                evaluation=evaluation,
+                acyclicity=acyclicity,
+                session=session,
+            )
+            for tup in tuples
+        ]
     return DatabaseRun(
         scenario=scenario.name,
         database=database_name,
@@ -199,6 +238,7 @@ def run_scenario(
     seed: int = 7,
     acyclicity: str = "vertex-elimination",
     use_session: bool = True,
+    workers: int = 1,
 ) -> List[DatabaseRun]:
     """Run every database of a scenario."""
     return [
@@ -211,6 +251,7 @@ def run_scenario(
             seed=seed,
             acyclicity=acyclicity,
             use_session=use_session,
+            workers=workers,
         )
         for name in scenario.database_names()
     ]

@@ -18,6 +18,7 @@ class BoxStats:
     count: int
 
     def as_row(self, scale: float = 1.0) -> List[float]:
+        """The five-number summary as a list (optionally rescaled)."""
         return [
             self.minimum * scale,
             self.first_quartile * scale,
@@ -56,6 +57,7 @@ def box_stats(values: Sequence[float]) -> BoxStats:
 
 
 def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on empty input."""
     if not values:
         raise ValueError("mean of empty data")
     return sum(values) / len(values)

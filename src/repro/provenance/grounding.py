@@ -107,6 +107,7 @@ class DownwardClosure:
             yield from edges
 
     def edge_count(self) -> int:
+        """Total number of hyperedges of the closure."""
         return sum(len(edges) for edges in self.hyperedges_by_head.values())
 
     def intensional_nodes(self) -> Set[Atom]:

@@ -48,12 +48,15 @@ class ProofDAG:
     # -- structure ---------------------------------------------------------
 
     def nodes(self) -> Iterable[int]:
+        """All node identifiers of the DAG."""
         return self.labels.keys()
 
     def node_count(self) -> int:
+        """Number of nodes (the size measure of Section 3)."""
         return len(self.labels)
 
     def leaves(self) -> Iterable[int]:
+        """Nodes without children (their labels form the support)."""
         return (v for v in self.labels if not self.children[v])
 
     def support(self) -> FrozenSet[Atom]:
@@ -61,6 +64,7 @@ class ProofDAG:
         return frozenset(self.labels[v] for v in self.leaves())
 
     def parents(self) -> Dict[int, List[int]]:
+        """``node -> incoming-edge sources`` (inverse of ``children``)."""
         incoming: Dict[int, List[int]] = {v: [] for v in self.labels}
         for v, targets in self.children.items():
             for u in targets:
@@ -68,6 +72,7 @@ class ProofDAG:
         return incoming
 
     def is_acyclic(self) -> bool:
+        """Whether the child relation admits a topological order."""
         return self._topological_order() is not None
 
     def _topological_order(self) -> Optional[List[int]]:
@@ -127,6 +132,7 @@ class ProofDAG:
                 )
 
     def is_valid(self, program: Program, database: Database, expected_root: Optional[Atom] = None) -> bool:
+        """Boolean form of :meth:`validate` (no exception)."""
         try:
             self.validate(program, database, expected_root)
         except InvalidProofDAG:
@@ -246,6 +252,7 @@ class CompressedDAG:
         return frozenset(f for f in self.nodes() if f not in self.choice or not self.choice[f])
 
     def is_acyclic(self) -> bool:
+        """Whether the choice function induces an acyclic sub-DAG."""
         color: Dict[Atom, int] = {}
 
         def visit(fact: Atom) -> bool:
@@ -283,6 +290,7 @@ class CompressedDAG:
                 )
 
     def is_valid(self, program: Program, database: Database, expected_root: Optional[Atom] = None) -> bool:
+        """Boolean form of :meth:`validate` (no exception)."""
         try:
             self.validate(program, database, expected_root)
         except InvalidProofDAG:

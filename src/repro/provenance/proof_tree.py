@@ -48,6 +48,7 @@ class ProofTreeNode:
         self.ground_rule = ground_rule
 
     def is_leaf(self) -> bool:
+        """Whether the node has no children (a database-fact leaf)."""
         return not self.children
 
     def __repr__(self) -> str:
@@ -69,6 +70,7 @@ class ProofTree:
 
     @classmethod
     def leaf(cls, fact: Atom) -> "ProofTree":
+        """A single-node tree for a database fact."""
         return cls(ProofTreeNode(fact))
 
     @classmethod
@@ -147,6 +149,7 @@ class ProofTree:
         return _canonical(self.root)
 
     def is_isomorphic(self, other: "ProofTree") -> bool:
+        """Tree isomorphism via canonical forms (order-insensitive)."""
         return self.canonical() == other.canonical()
 
     def scount(self) -> int:

@@ -127,6 +127,7 @@ class Totalizer:
             self._outputs = self._build(self._literals)
 
     def outputs(self) -> List[int]:
+        """The sorted unary counter: output ``i`` is true iff > i inputs are."""
         return list(self._outputs)
 
     def enforce_at_most(self, k: int) -> None:

@@ -41,6 +41,7 @@ class CNF:
         self.clauses.append(clause)
 
     def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add every clause of an iterable."""
         for clause in clauses:
             self.add_clause(clause)
 
@@ -49,6 +50,7 @@ class CNF:
         self.add_clause((-antecedent, consequent))
 
     def at_least_one(self, literals: Sequence[int]) -> None:
+        """Require at least one of *literals* (a single clause)."""
         self.add_clause(literals)
 
     def at_most_one(self, literals: Sequence[int]) -> None:
@@ -58,6 +60,7 @@ class CNF:
                 self.add_clause((-a, -b))
 
     def exactly_one(self, literals: Sequence[int]) -> None:
+        """Require exactly one of *literals* (at-least + pairwise at-most)."""
         self.at_least_one(literals)
         self.at_most_one(literals)
 
@@ -68,6 +71,7 @@ class CNF:
         return iter(self.clauses)
 
     def copy(self) -> "CNF":
+        """An independent copy (clause list is duplicated)."""
         dup = CNF(self.num_vars)
         dup.clauses = list(self.clauses)
         return dup
@@ -94,6 +98,7 @@ class CNF:
     # -- DIMACS ---------------------------------------------------------------
 
     def to_dimacs(self) -> str:
+        """Serialize in DIMACS CNF format."""
         lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
         for clause in self.clauses:
             lines.append(" ".join(str(lit) for lit in clause) + " 0")
@@ -101,6 +106,7 @@ class CNF:
 
     @classmethod
     def from_dimacs(cls, text: str) -> "CNF":
+        """Parse DIMACS CNF text (comments and multi-line clauses allowed)."""
         num_vars = 0
         clauses: List[Tuple[int, ...]] = []
         declared: Optional[Tuple[int, int]] = None
@@ -168,6 +174,7 @@ class VariablePool:
         return len(self._by_key)
 
     def items(self) -> Iterator[Tuple[Hashable, int]]:
+        """Iterate over ``(key, variable)`` pairs in allocation order."""
         return iter(self._by_key.items())
 
     def keys_with_prefix(self, prefix: Hashable) -> Iterator[Tuple[Hashable, int]]:

@@ -53,6 +53,7 @@ class SolverStatistics:
         self.removed = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for reports and assertions)."""
         return {name: getattr(self, name) for name in self.__slots__}
 
 
@@ -103,6 +104,7 @@ class CDCLSolver:
     # -- variables and clauses ----------------------------------------------
 
     def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
         self._num_vars += 1
         self._assign.append(_UNASSIGNED)
         self._level.append(0)
@@ -116,14 +118,17 @@ class CDCLSolver:
         return var
 
     def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable pool so that *num_vars* variables exist."""
         while self._num_vars < num_vars:
             self.new_var()
 
     @property
     def num_vars(self) -> int:
+        """Number of allocated variables."""
         return self._num_vars
 
     def add_cnf(self, cnf: CNF) -> None:
+        """Load every clause of a :class:`CNF` (allocating variables)."""
         self.ensure_vars(cnf.num_vars)
         for clause in cnf.clauses:
             self.add_clause(clause)

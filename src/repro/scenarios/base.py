@@ -46,15 +46,18 @@ class Scenario:
     description: str
 
     def query(self) -> DatalogQuery:
+        """Build the scenario's Datalog query."""
         return self.query_factory()
 
     def database(self, name: str) -> Database:
+        """Build the named database (raises ``KeyError`` if unknown)."""
         for db in self.databases:
             if db.name == name:
                 return db.build()
         raise KeyError(f"scenario {self.name} has no database {name!r}")
 
     def database_names(self) -> List[str]:
+        """The database names, smallest first (paper order D1..Dn)."""
         return [db.name for db in self.databases]
 
 

@@ -75,6 +75,7 @@ class Circuit:
     output: int
 
     def size(self) -> int:
+        """Number of gates of the circuit."""
         return len(self.gates)
 
     def depth(self) -> int:

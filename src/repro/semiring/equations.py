@@ -66,6 +66,7 @@ class EquationSystem:
     dependencies: Dict[Atom, Tuple[Atom, ...]] = field(default_factory=dict)
 
     def unknowns(self) -> Tuple[Atom, ...]:
+        """The intensional facts the system solves for."""
         return tuple(self.equations)
 
     def size(self) -> int:
