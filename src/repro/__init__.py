@@ -34,6 +34,7 @@ from .core import (
     ParallelProvenanceExplainer,
     ProvenanceSession,
     SessionStats,
+    SessionUpdate,
     WhyProvenanceEncoding,
     WhyProvenanceEnumerator,
     decide_membership,
@@ -58,6 +59,7 @@ from .datalog import (
     Atom,
     Database,
     DatalogQuery,
+    Delta,
     Program,
     Rule,
     Variable,
@@ -93,6 +95,7 @@ __all__ = [
     "CompressedDAG",
     "Database",
     "DatalogQuery",
+    "Delta",
     "DownwardClosure",
     "FORewriting",
     "ProofDAG",
@@ -100,6 +103,7 @@ __all__ = [
     "Program",
     "ProvenanceSession",
     "SessionStats",
+    "SessionUpdate",
     "Rule",
     "Variable",
     "WhyProvenanceEncoding",

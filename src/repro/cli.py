@@ -21,6 +21,11 @@ grounding, instead of re-evaluating per tuple like repeated ``why`` calls
 would. With ``--workers N`` the tuples are sharded across a forked
 worker pool (``--workers 0`` = one per core) after that single
 evaluation; results are identical to the serial run, in the same order.
+With ``--watch`` the session stays live after the first serve: delta
+lines (``+e(a, b).`` / ``-e(a, b).``) read from stdin are applied through
+incremental view maintenance (:meth:`ProvenanceSession.update`) on each
+blank line, and the batch is re-served — the evaluation is patched, never
+redone.
 
 Programs and databases use the textual Datalog syntax of
 :mod:`repro.datalog.parser`; tuples are comma-separated constants (decimal
@@ -140,13 +145,9 @@ def _print_fact_result(result, answer_predicate: str) -> bool:
     return False
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    query, database = _load_query(args)
-    session = ProvenanceSession(query, database)
-    if args.all_answers:
-        tuples = session.answers()
-    else:
-        tuples = [parse_tuple(part) for part in args.tuples.split(";") if part.strip()]
+def _serve_batch(session: ProvenanceSession, tuples, args: argparse.Namespace) -> int:
+    """Serve one batch through *session*; return the number of failures."""
+    answer_predicate = session.query.answer_predicate
     failures = 0
     if args.workers == 1:
         # Serial: stream each tuple's members as they are enumerated
@@ -159,14 +160,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 session, tup, index=index,
                 limit=args.limit, timeout_seconds=args.timeout,
             )
-            failures += _print_fact_result(result, query.answer_predicate)
+            failures += _print_fact_result(result, answer_predicate)
         stats = session.stats
         print(
             f"% {len(tuples)} tuples served by {stats.evaluations} evaluation(s), "
             f"{stats.gri_builds} GRI build(s), {stats.closure_builds} closure(s)",
             file=sys.stderr,
         )
-        return 1 if failures else 0
+        return failures
     batch = session.explain_batch(
         tuples,
         workers=args.workers,  # 0 = one per core (explainer convention)
@@ -175,7 +176,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
     )
     for result in batch.results:
-        failures += _print_fact_result(result, query.answer_predicate)
+        failures += _print_fact_result(result, answer_predicate)
     if batch.parallel:
         print(
             f"% {len(tuples)} tuples sharded over {batch.workers} worker(s) "
@@ -192,6 +193,86 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"{stats.gri_builds} GRI build(s), {stats.closure_builds} closure(s)",
             file=sys.stderr,
         )
+    return failures
+
+
+def _watch_loop(session: ProvenanceSession, tuples, args: argparse.Namespace) -> int:
+    """The ``batch --watch`` read-update-reserve loop; returns failures.
+
+    Reads delta lines from stdin: ``+fact.`` stages an insertion,
+    ``-fact.`` a deletion (several facts per line are allowed). A blank
+    line commits the staged delta through
+    :meth:`~repro.core.session.ProvenanceSession.update` — incremental
+    maintenance, not re-evaluation — and re-serves the batch; end of
+    input commits any remaining staged facts and exits. Unparsable lines
+    are reported on stderr and skipped.
+    """
+    from .datalog.database import Delta
+
+    failures = 0
+    inserted: List = []
+    deleted: List = []
+
+    def commit() -> int:
+        nonlocal inserted, deleted
+        if not inserted and not deleted:
+            return 0
+        try:
+            delta = Delta(inserted=frozenset(inserted), deleted=frozenset(deleted))
+        except ValueError as exc:
+            print(f"% update rejected: {exc}", file=sys.stderr)
+            inserted, deleted = [], []
+            return 0
+        inserted, deleted = [], []
+        try:
+            # update() validates (schema, types) before touching the
+            # database, so a rejection leaves the session untouched and
+            # the watch loop alive.
+            receipt = session.update(delta)
+        except ValueError as exc:
+            print(f"% update rejected: {exc}", file=sys.stderr)
+            return 0
+        print(
+            f"% update v{receipt.version}: {len(receipt.effective.inserted)} inserted, "
+            f"{len(receipt.effective.deleted)} deleted; "
+            f"{receipt.dirty_fact_count()} model facts changed, "
+            f"{receipt.invalidated_closures} closure(s) invalidated, "
+            f"{receipt.retained_closures} retained ({receipt.seconds:.3f}s)",
+            file=sys.stderr,
+        )
+        targets = session.answers() if args.all_answers else tuples
+        return _serve_batch(session, targets, args)
+
+    for raw in sys.stdin:
+        line = raw.strip()
+        if not line:
+            failures += commit()
+            continue
+        sign, rest = line[0], line[1:].strip()
+        if sign not in "+-":
+            print(f"% ignored watch line (expected +fact. or -fact.): {line}",
+                  file=sys.stderr)
+            continue
+        try:
+            facts = parse_database(rest)
+        except Exception as exc:
+            print(f"% ignored watch line ({exc}): {line}", file=sys.stderr)
+            continue
+        (inserted if sign == "+" else deleted).extend(facts)
+    failures += commit()
+    return failures
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    query, database = _load_query(args)
+    session = ProvenanceSession(query, database)
+    if args.all_answers:
+        tuples = session.answers()
+    else:
+        tuples = [parse_tuple(part) for part in args.tuples.split(";") if part.strip()]
+    failures = _serve_batch(session, tuples, args)
+    if args.watch:
+        failures += _watch_loop(session, tuples, args)
     return 1 if failures else 0
 
 
@@ -332,6 +413,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="tuples per parallel work unit (default: ~4 chunks per worker)",
+    )
+    p_batch.add_argument(
+        "--watch",
+        action="store_true",
+        help="after serving, read '+fact.'/'-fact.' delta lines from stdin; "
+        "a blank line (or EOF) applies them via incremental maintenance "
+        "and re-serves the batch",
     )
     p_batch.set_defaults(func=_cmd_batch)
 

@@ -57,6 +57,7 @@ from .parallel import (
     ParallelProvenanceExplainer,
     explain_fact,
 )
+from .incremental import SessionUpdate, update_session
 from .session import ProvenanceSession, SessionStats
 
 __all__ = [
@@ -68,6 +69,8 @@ __all__ = [
     "explain_fact",
     "ProvenanceSession",
     "SessionStats",
+    "SessionUpdate",
+    "update_session",
     "EnumerationReport",
     "FORewriting",
     "InducedCQ",

@@ -174,12 +174,18 @@ class EvaluationSnapshot:
         evaluation: EvaluationResult,
         method: str = "seminaive",
         acyclicity: str = "vertex-elimination",
+        version: int = 0,
     ):
         self.query = query
         self.database = database
         self.evaluation = evaluation
         self.method = method
         self.acyclicity = acyclicity
+        #: The parent session's :attr:`~repro.core.session.ProvenanceSession.version`
+        #: at capture time. Chunks carry the version they were scheduled
+        #: against, so a worker holding an older snapshot can detect it
+        #: is stale instead of silently serving pre-update provenance.
+        self.version = version
 
     @classmethod
     def capture(cls, session: ProvenanceSession) -> "EvaluationSnapshot":
@@ -201,6 +207,7 @@ class EvaluationSnapshot:
             evaluation=pruned,
             method=session.method,
             acyclicity=session.acyclicity,
+            version=session.version,
         )
 
     def restore(self) -> ProvenanceSession:
@@ -213,6 +220,7 @@ class EvaluationSnapshot:
             acyclicity=self.acyclicity,
         )
         session._evaluation = self.evaluation
+        session.version = self.version
         return session
 
     def to_bytes(self) -> bytes:
@@ -291,23 +299,43 @@ def explain_fact(
 # -- worker-side plumbing ----------------------------------------------------
 #
 # The pool initializer rehydrates one session per worker process from the
-# snapshot bytes; chunk tasks then only carry (index, tuple) pairs.
+# snapshot bytes; chunk tasks then only carry (index, tuple) pairs plus the
+# session version they were scheduled against.
 
+_WORKER_SNAPSHOT: Optional[EvaluationSnapshot] = None
 _WORKER_SESSION: Optional[ProvenanceSession] = None
 
 
 def _init_worker(snapshot_blob: bytes) -> None:
     """Pool initializer: unpickle the snapshot once, rehydrate the session."""
-    global _WORKER_SESSION
-    _WORKER_SESSION = EvaluationSnapshot.from_bytes(snapshot_blob).restore()
+    global _WORKER_SNAPSHOT, _WORKER_SESSION
+    _WORKER_SNAPSHOT = EvaluationSnapshot.from_bytes(snapshot_blob)
+    _WORKER_SESSION = _WORKER_SNAPSHOT.restore()
 
 
 def _run_chunk(
-    payload: Tuple[List[Tuple[int, Tuple]], Optional[int], Optional[float]],
+    payload: Tuple[List[Tuple[int, Tuple]], Optional[int], Optional[float], int],
 ) -> List[FactResult]:
-    """Serve one chunk of ``(index, tuple)`` pairs in a worker process."""
-    chunk, limit, timeout_seconds = payload
+    """Serve one chunk of ``(index, tuple)`` pairs in a worker process.
+
+    The payload carries the session version the parent scheduled the
+    chunk against. A worker whose live session has drifted away from its
+    snapshot's version rehydrates from the snapshot; a worker whose
+    *snapshot* is older than the chunk (a pool that outlived a database
+    update) fails loudly rather than serving pre-update provenance.
+    """
+    global _WORKER_SESSION
+    chunk, limit, timeout_seconds, version = payload
     assert _WORKER_SESSION is not None, "worker initialized without a snapshot"
+    if _WORKER_SESSION.version != version:
+        assert _WORKER_SNAPSHOT is not None
+        if _WORKER_SNAPSHOT.version != version:
+            raise RuntimeError(
+                f"stale worker snapshot: chunk expects session version "
+                f"{version}, snapshot is {_WORKER_SNAPSHOT.version}; "
+                "rebuild the pool after ProvenanceSession.update()"
+            )
+        _WORKER_SESSION = _WORKER_SNAPSHOT.restore()
     return [
         explain_fact(
             _WORKER_SESSION, tup, index=index,
@@ -388,7 +416,9 @@ class ParallelProvenanceExplainer:
                 f"start method {self.start_method!r} unavailable",
             )
         try:
-            blob = EvaluationSnapshot.capture(self.session).to_bytes()
+            # Cached per session version: repeated batches over an
+            # unchanged database pickle once; any update() rebuilds.
+            blob = self.session.snapshot_bytes()
         except Exception as exc:  # unpicklable component: stay correct
             return self._serial(
                 tuples, limit, timeout_seconds, evaluation_seconds,
@@ -444,8 +474,9 @@ class ParallelProvenanceExplainer:
         started = time.perf_counter()
         chunk_size = self._effective_chunk_size(len(tuples), workers)
         tasks = list(enumerate(tuples))
+        version = self.session.version
         payloads = [
-            (tasks[offset : offset + chunk_size], limit, timeout_seconds)
+            (tasks[offset : offset + chunk_size], limit, timeout_seconds, version)
             for offset in range(0, len(tasks), chunk_size)
         ]
         context = multiprocessing.get_context(self.start_method)

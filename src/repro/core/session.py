@@ -77,6 +77,8 @@ class SessionStats:
     encoding_builds: int = 0
     encoding_hits: int = 0
     sat_solver_builds: int = 0
+    updates: int = 0
+    closure_invalidations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (for reports and assertions)."""
@@ -88,6 +90,8 @@ class SessionStats:
             "encoding_builds": self.encoding_builds,
             "encoding_hits": self.encoding_hits,
             "sat_solver_builds": self.sat_solver_builds,
+            "updates": self.updates,
+            "closure_invalidations": self.closure_invalidations,
         }
 
 
@@ -126,6 +130,12 @@ class ProvenanceSession:
         self.record_instances = record_instances
         self.acyclicity = acyclicity
         self.stats = SessionStats()
+        #: Monotonic database-state counter: bumped by every effective
+        #: :meth:`update` and every :meth:`invalidate`. Evaluation
+        #: snapshots are stamped with it, so a snapshot (or a worker
+        #: rehydrated from one) can tell it has gone stale.
+        self.version = 0
+        self._snapshot_cache: Optional[Tuple[int, bytes]] = None
         self._evaluation: Optional[EvaluationResult] = None
         self._gri: Optional[
             Tuple[Dict[Atom, List[HyperEdge]], Dict[Atom, List[RuleInstance]]]
@@ -434,8 +444,48 @@ class ProvenanceSession:
 
     # -- lifecycle ----------------------------------------------------------
 
+    def update(self, delta) -> "SessionUpdate":
+        """Apply a :class:`~repro.datalog.database.Delta` incrementally.
+
+        The surgical alternative to mutating the database and calling
+        :meth:`invalidate`: the evaluation is patched in place
+        (delta-semi-naive insertion rounds, DRed deletion maintenance —
+        see :mod:`repro.core.incremental`), the GRI follows the patched
+        trace, and only the closures / encodings / warm solvers of facts
+        the update actually reaches are dropped. The session afterwards
+        is observably identical — answers, witnesses, witness order — to
+        a cold session over the updated database, but the evaluation
+        counter never moves (``stats.evaluations`` stays at 1).
+
+        Returns the :class:`~repro.core.incremental.SessionUpdate`
+        receipt (what changed, what was invalidated, how long it took).
+        """
+        from .incremental import update_session
+
+        return update_session(self, delta)
+
+    def snapshot_bytes(self) -> bytes:
+        """The pickled evaluation snapshot for this session's version.
+
+        Cached per :attr:`version`: repeated batches over an unchanged
+        database reuse one blob, and any :meth:`update` / :meth:`invalidate`
+        makes the next call rebuild it (stale snapshots never escape the
+        parent). Raises if some component is unpicklable — callers that
+        can fall back to serial execution catch that.
+        """
+        from .parallel import EvaluationSnapshot
+
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        blob = EvaluationSnapshot.capture(self).to_bytes()
+        self._snapshot_cache = (self.version, blob)
+        return blob
+
     def invalidate(self) -> None:
         """Drop every cached artifact (call after mutating the database)."""
+        self.version += 1
+        self._snapshot_cache = None
         self._evaluation = None
         self._gri = None
         self._closures.clear()

@@ -1,14 +1,17 @@
 """Datalog substrate: syntax, parsing, storage, and bottom-up evaluation."""
 
 from .atoms import Atom, Fact, make_fact, signature
-from .database import Database, check_over_schema
+from .database import Database, Delta, check_over_schema
 from .engine import (
     EvaluationResult,
+    MaintenanceResult,
     answers,
     evaluate,
     ground_instances,
     holds,
     immediate_consequences,
+    maintain_evaluation,
+    ranks_from_instances,
     stage_sets,
 )
 from .io import (
@@ -41,8 +44,10 @@ __all__ = [
     "Atom",
     "Database",
     "DatalogQuery",
+    "Delta",
     "EvaluationResult",
     "Fact",
+    "MaintenanceResult",
     "GroundRule",
     "ParseError",
     "Program",
@@ -66,6 +71,7 @@ __all__ = [
     "magic_evaluate",
     "magic_holds",
     "magic_rewrite",
+    "maintain_evaluation",
     "immediate_consequences",
     "is_constant",
     "is_variable",
@@ -74,6 +80,7 @@ __all__ = [
     "parse_database",
     "parse_program",
     "parse_rule",
+    "ranks_from_instances",
     "signature",
     "stage_sets",
 ]

@@ -4,13 +4,81 @@ A database over a schema ``S`` is a finite set of facts over ``S``
 (Section 2). The class maintains hash indexes on every ``(predicate,
 position, value)`` triple so that the engine can match partially bound atoms
 without scanning whole relations.
+
+Databases under churn are described by :class:`Delta` — an insertion set
+plus a deletion set — and updated atomically with :meth:`Database.apply`,
+which reports the *effective* delta (the facts that actually changed).
+Effective deltas are what the incremental maintenance machinery
+(:mod:`repro.datalog.engine` / :mod:`repro.core.incremental`) consumes.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .atoms import Atom
+
+
+@dataclass(frozen=True)
+class Delta:
+    """An update to a database: facts to insert and facts to delete.
+
+    A delta is *declarative*: it describes the intended difference, not a
+    log of operations. The two sets must be disjoint (inserting and
+    deleting the same fact in one delta has no coherent meaning) and every
+    member must be ground. :meth:`Database.apply` turns an intended delta
+    into an *effective* one — inserting a fact already present or deleting
+    an absent one is dropped, so the returned delta is exactly the
+    symmetric difference the database underwent.
+    """
+
+    inserted: FrozenSet[Atom] = frozenset()
+    deleted: FrozenSet[Atom] = frozenset()
+
+    def __post_init__(self):
+        object.__setattr__(self, "inserted", frozenset(self.inserted))
+        object.__setattr__(self, "deleted", frozenset(self.deleted))
+        for fact in self.inserted | self.deleted:
+            if not isinstance(fact, Atom) or not fact.is_fact():
+                raise ValueError(f"{fact} is not a ground fact")
+        overlap = self.inserted & self.deleted
+        if overlap:
+            names = ", ".join(sorted(map(str, overlap)))
+            raise ValueError(f"delta both inserts and deletes: {names}")
+
+    @classmethod
+    def insert(cls, *facts: Atom) -> "Delta":
+        """A pure-insertion delta."""
+        return cls(inserted=frozenset(facts))
+
+    @classmethod
+    def delete(cls, *facts: Atom) -> "Delta":
+        """A pure-deletion delta."""
+        return cls(deleted=frozenset(facts))
+
+    def is_empty(self) -> bool:
+        """Whether the delta changes nothing."""
+        return not self.inserted and not self.deleted
+
+    def __len__(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def inverted(self) -> "Delta":
+        """The delta that undoes this one (insertions and deletions swap)."""
+        return Delta(inserted=self.deleted, deleted=self.inserted)
+
+    def facts(self) -> FrozenSet[Atom]:
+        """Every fact the delta mentions, inserted or deleted."""
+        return self.inserted | self.deleted
+
+    def __str__(self) -> str:
+        plus = " ".join(sorted(f"+{f}" for f in self.inserted))
+        minus = " ".join(sorted(f"-{f}" for f in self.deleted))
+        return " ".join(part for part in (plus, minus) if part) or "(empty delta)"
 
 
 class Database:
@@ -73,6 +141,19 @@ class Database:
             if not entry:
                 del self._index[key]
         return True
+
+    def apply(self, delta: Delta) -> Delta:
+        """Apply *delta* and return the *effective* delta.
+
+        The effective delta keeps only the insertions that were actually
+        new and the deletions that actually removed something, so callers
+        (notably incremental view maintenance) never have to reason about
+        redundant operations. Deletions are applied first, but since the
+        two sets are disjoint the order is unobservable.
+        """
+        deleted = frozenset(fact for fact in delta.deleted if self.discard(fact))
+        inserted = frozenset(fact for fact in delta.inserted if self.add(fact))
+        return Delta(inserted=inserted, deleted=deleted)
 
     # -- pickling ----------------------------------------------------------
 

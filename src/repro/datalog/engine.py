@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .atoms import Atom
-from .database import Database
+from .database import Database, Delta
 from .program import DatalogQuery, Program
 from .rules import GroundRule, Rule
 from .unify import match_body, match_body_with_delta
@@ -216,6 +216,258 @@ def _evaluate_seminaive(
         rounds=rounds,
         derivations=derivations,
         instances=tuple(trace.items) if trace is not None else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Incremental maintenance of a recorded evaluation (delta-semi-naive + DRed)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MaintenanceResult:
+    """Outcome of incrementally maintaining an evaluation under a delta.
+
+    Attributes
+    ----------
+    evaluation:
+        A fresh :class:`EvaluationResult` whose model, ranks, rounds and
+        instance trace agree *exactly* with a from-scratch evaluation
+        over the updated database (the trace as a set; its order is
+        update order, which downstream consumers canonicalize).
+    added_facts / removed_facts:
+        The difference between the old and new least models (extensional
+        facts included).
+    added_instances / removed_instances:
+        The ground rule instances that entered / left the trace — the
+        raw material for cache invalidation: a downward closure can only
+        change if one of these instances' heads lies inside it.
+    overdeleted / rederived:
+        DRed diagnostics: how many facts the deletion phase tentatively
+        deleted, and how many of those an alternative derivation saved.
+    """
+
+    evaluation: EvaluationResult
+    added_facts: FrozenSet[Atom] = frozenset()
+    removed_facts: FrozenSet[Atom] = frozenset()
+    added_instances: Tuple[GroundRule, ...] = ()
+    removed_instances: Tuple[GroundRule, ...] = ()
+    overdeleted: int = 0
+    rederived: int = 0
+
+    def changed(self) -> bool:
+        """Whether the maintenance changed the model or the trace."""
+        return bool(
+            self.added_facts
+            or self.removed_facts
+            or self.added_instances
+            or self.removed_instances
+        )
+
+
+def ranks_from_instances(
+    database: Database,
+    instances: Iterable[GroundRule],
+) -> Dict[Atom, int]:
+    """Exact ranks (= min-dag-depth, Prop. 28) from a full instance trace.
+
+    ``rank(alpha) = 0`` for database facts, else ``1 + min`` over the
+    instances with head ``alpha`` of the max body rank — the fixpoint
+    characterization of the stage at which the immediate-consequence
+    operator first derives each fact. Computed by a level-order sweep of
+    the instance hypergraph in ``O(sum of body sizes)``, so maintenance
+    never re-runs the (much more expensive) rule matching just to refresh
+    ranks. Instances whose bodies are not fully derivable are ignored,
+    matching :func:`evaluate` on any fixpoint trace.
+    """
+    instance_list = list(instances)
+    ranks: Dict[Atom, int] = {fact: 0 for fact in database}
+    waiting: Dict[Atom, List[int]] = {}
+    pending: List[int] = []
+    for idx, ground in enumerate(instance_list):
+        unresolved = 0
+        for body_fact in set(ground.body):
+            if body_fact not in ranks:
+                unresolved += 1
+                waiting.setdefault(body_fact, []).append(idx)
+        pending.append(unresolved)
+    ready = [idx for idx, count in enumerate(pending) if count == 0]
+    rank = 0
+    while True:
+        newly: List[Atom] = []
+        for idx in ready:
+            head = instance_list[idx].head
+            if head not in ranks:
+                ranks[head] = rank + 1
+                newly.append(head)
+        if not newly:
+            break
+        ready = []
+        for fact in newly:
+            for idx in waiting.get(fact, ()):
+                pending[idx] -= 1
+                if pending[idx] == 0:
+                    ready.append(idx)
+        rank += 1
+    return ranks
+
+
+def maintain_evaluation(
+    program: Program,
+    database: Database,
+    evaluation: EvaluationResult,
+    delta: Delta,
+) -> MaintenanceResult:
+    """Patch a recorded evaluation under a database delta.
+
+    *database* must already reflect the update (see
+    :meth:`~repro.datalog.database.Database.apply`) and *delta* must be
+    the **effective** delta it returned; *evaluation* is the stale result
+    computed before the update, and must carry an instance trace
+    (``record_instances=True``) — the trace is both the input that makes
+    maintenance cheap and the artifact being maintained.
+
+    Deletions run first, DRed-style (overdelete every fact with an
+    invalidated derivation, then re-derive survivors from intact
+    instances); since the updated model is a subset of the old one, the
+    new trace is exactly the old instances whose bodies survive — no
+    matching needed. Insertions then run delta-semi-naive rounds seeded
+    with the inserted facts: only rule bodies touching a new fact are
+    ever matched, and every firing is recorded. Ranks are refreshed from
+    the patched trace (:func:`ranks_from_instances`), so the returned
+    evaluation is indistinguishable from a cold one: same model, same
+    ranks, same rounds, same instance *set*.
+    """
+    if evaluation.instances is None:
+        raise ValueError(
+            "incremental maintenance requires an instance trace; "
+            "evaluate with record_instances=True"
+        )
+    model = evaluation.model.copy()
+    trace: List[GroundRule] = list(evaluation.instances)
+    derivations = evaluation.derivations
+
+    # -- deletion phase: DRed over the materialized instances ---------------
+    removed_facts: FrozenSet[Atom] = frozenset()
+    removed_instances: Tuple[GroundRule, ...] = ()
+    overdeleted_count = 0
+    rederived_count = 0
+    deleted_present = [fact for fact in delta.deleted if fact in model]
+    if deleted_present:
+        body_index: Dict[Atom, List[int]] = {}
+        for idx, ground in enumerate(trace):
+            for body_fact in set(ground.body):
+                body_index.setdefault(body_fact, []).append(idx)
+        # Overdelete: a fact loses its presumption of truth as soon as
+        # *one* of its derivations uses a (transitively) deleted fact.
+        # Facts still extensionally present in the updated database are
+        # immune — their membership never depended on a derivation.
+        overdeleted: Set[Atom] = set(deleted_present)
+        stack: List[Atom] = list(deleted_present)
+        while stack:
+            fact = stack.pop()
+            for idx in body_index.get(fact, ()):
+                head = trace[idx].head
+                if head not in overdeleted and head not in database:
+                    overdeleted.add(head)
+                    stack.append(head)
+        overdeleted_count = len(overdeleted)
+        # Re-derive: a tentatively deleted fact survives iff some instance
+        # derives it from facts that are themselves alive. Counting
+        # worklist over the instances whose heads were overdeleted.
+        pending: Dict[int, int] = {}
+        ready: List[Atom] = []
+        resurrected: Set[Atom] = set()
+        for idx, ground in enumerate(trace):
+            if ground.head not in overdeleted:
+                continue
+            dead_in_body = sum(
+                1 for body_fact in set(ground.body) if body_fact in overdeleted
+            )
+            if dead_in_body == 0:
+                if ground.head not in resurrected:
+                    resurrected.add(ground.head)
+                    ready.append(ground.head)
+            else:
+                pending[idx] = dead_in_body
+        while ready:
+            fact = ready.pop()
+            for idx in body_index.get(fact, ()):
+                count = pending.get(idx)
+                if count is None:
+                    continue
+                pending[idx] = count - 1
+                if pending[idx] == 0:
+                    head = trace[idx].head
+                    if head in overdeleted and head not in resurrected:
+                        resurrected.add(head)
+                        ready.append(head)
+        rederived_count = len(resurrected)
+        removed = overdeleted - resurrected
+        if removed:
+            removed_facts = frozenset(removed)
+            dead_instances = [
+                ground for ground in trace if not removed.isdisjoint(ground.body)
+            ]
+            removed_instances = tuple(dead_instances)
+            trace = [
+                ground for ground in trace if removed.isdisjoint(ground.body)
+            ]
+            for fact in removed:
+                model.discard(fact)
+
+    # -- insertion phase: delta-semi-naive rounds seeded with the delta ------
+    added_facts: Set[Atom] = set()
+    added_instances: List[GroundRule] = []
+    fresh = [fact for fact in delta.inserted if fact not in model]
+    if fresh:
+        seen: Set[GroundRule] = set(trace)
+        round_delta = Database()
+        for fact in fresh:
+            model.add(fact)
+            added_facts.add(fact)
+            round_delta.add(fact)
+        while len(round_delta):
+            next_delta = Database()
+            for rule in program.rules:
+                for pos in range(len(rule.body)):
+                    if round_delta.count(rule.body[pos].pred) == 0:
+                        continue
+                    for subst in match_body_with_delta(
+                        rule.body, model, round_delta, pos
+                    ):
+                        derivations += 1
+                        head = rule.head.ground(subst)
+                        ground = GroundRule(
+                            rule, head, tuple(a.ground(subst) for a in rule.body)
+                        )
+                        if ground not in seen:
+                            seen.add(ground)
+                            added_instances.append(ground)
+                            trace.append(ground)
+                        if head not in model and head not in next_delta:
+                            next_delta.add(head)
+            for fact in next_delta:
+                model.add(fact)
+                added_facts.add(fact)
+            round_delta = next_delta
+
+    ranks = ranks_from_instances(database, trace)
+    patched = EvaluationResult(
+        model=model,
+        ranks=ranks,
+        rounds=max(ranks.values(), default=0),
+        derivations=derivations,
+        instances=tuple(trace),
+    )
+    return MaintenanceResult(
+        evaluation=patched,
+        added_facts=frozenset(added_facts),
+        removed_facts=removed_facts,
+        added_instances=tuple(added_instances),
+        removed_instances=removed_instances,
+        overdeleted=overdeleted_count,
+        rederived=rederived_count,
     )
 
 

@@ -15,6 +15,10 @@ re-matching path as a foil, or ``workers > 1`` to shard the sampled
 tuples across the worker pool of
 :class:`~repro.core.parallel.ParallelProvenanceExplainer` (one parent
 evaluation, per-fact grounding/encoding/solving in forked workers).
+Pass ``deltas=[...]`` to replay database updates through the live
+session — each delta is applied by incremental view maintenance
+(:meth:`ProvenanceSession.update`) and the experiment re-served, giving
+the update-latency numbers of ``bench_incremental_updates.py``.
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..datalog.database import Database
+from ..datalog.database import Database, Delta
 from ..datalog.engine import EvaluationResult, evaluate
 from ..datalog.program import DatalogQuery
 from ..core.enumerator import EnumerationReport, WhyProvenanceEnumerator
@@ -65,12 +69,19 @@ class TupleRun:
 
 @dataclass
 class DatabaseRun:
-    """Five tuple runs over one database (one bar group / box of a figure)."""
+    """Five tuple runs over one database (one bar group / box of a figure).
+
+    When the experiment replays database updates (``run_database(deltas=...)``)
+    each post-update re-serve appends one more :class:`DatabaseRun` to
+    ``update_runs``, labeled ``<database>+u<i>``; the top-level run is
+    always the pre-update state.
+    """
 
     scenario: str
     database: str
     fact_count: int
     tuple_runs: List[TupleRun]
+    update_runs: List["DatabaseRun"] = field(default_factory=list)
 
     def build_times(self) -> List[float]:
         """Per-tuple build times (one Figure 1/3 bar group)."""
@@ -141,6 +152,57 @@ def run_tuple(
     )
 
 
+def _serve_tuples(
+    query: DatalogQuery,
+    database: Database,
+    tuples: Sequence[Tuple],
+    scenario_name: str,
+    database_name: str,
+    member_limit: Optional[int],
+    timeout_seconds: Optional[float],
+    acyclicity: str,
+    session: Optional[ProvenanceSession],
+    evaluation: EvaluationResult,
+    workers: int,
+) -> List[TupleRun]:
+    """Serve the sampled tuples (serial or sharded) and collect TupleRuns."""
+    if workers != 1 and session is not None:
+        batch = session.explain_batch(
+            tuples,
+            workers=workers,
+            limit=member_limit,
+            timeout_seconds=timeout_seconds,
+        )
+        return [
+            TupleRun(
+                scenario=scenario_name,
+                database=database_name,
+                tuple_value=result.tuple_value,
+                closure_seconds=result.closure_seconds,
+                formula_seconds=result.formula_seconds,
+                members=len(result.members),
+                delays=result.delays,
+                exhausted=result.exhausted,
+            )
+            for result in batch.results
+        ]
+    return [
+        run_tuple(
+            query,
+            database,
+            tup,
+            scenario_name=scenario_name,
+            database_name=database_name,
+            member_limit=member_limit,
+            timeout_seconds=timeout_seconds,
+            evaluation=evaluation,
+            acyclicity=acyclicity,
+            session=session,
+        )
+        for tup in tuples
+    ]
+
+
 def run_database(
     scenario: Scenario,
     database_name: str,
@@ -151,6 +213,7 @@ def run_database(
     acyclicity: str = "vertex-elimination",
     use_session: bool = True,
     workers: int = 1,
+    deltas: Optional[Sequence[Delta]] = None,
 ) -> DatabaseRun:
     """Run the full per-database experiment of Section 5.3.
 
@@ -162,6 +225,13 @@ def run_database(
     grounding benchmarks). With ``workers > 1`` (requires the session
     path) the sampled tuples are sharded across a forked worker pool; the
     per-tuple measurements are then taken inside the workers.
+
+    ``deltas`` replays a sequence of database updates through the live
+    session (requires the session path): after the initial serve, each
+    delta is applied with :meth:`ProvenanceSession.update` — incremental
+    view maintenance, no re-evaluation — the answer tuples are re-sampled
+    over the updated model with the same seed, and the batch is re-served;
+    each re-serve lands in :attr:`DatabaseRun.update_runs`.
     """
     query = scenario.query()
     database = scenario.database(database_name)
@@ -177,6 +247,14 @@ def run_database(
             "workers != 1 requires the session path (use_session=True); "
             "the re-matching foil has no parallel mode"
         )
+    if deltas and not use_session:
+        # Same refusal logic: the foil path has no incremental
+        # maintenance — replaying updates there would silently measure
+        # full re-evaluations labeled as incremental serves.
+        raise ValueError(
+            "deltas require the session path (use_session=True); "
+            "the re-matching foil has no incremental maintenance"
+        )
     session: Optional[ProvenanceSession] = None
     if use_session:
         session = ProvenanceSession(query, database, acyclicity=acyclicity)
@@ -186,48 +264,38 @@ def run_database(
     tuples = sample_answer_tuples(
         query, database, count=tuples_per_database, seed=seed, evaluation=evaluation
     )
-    if workers != 1 and session is not None:
-        batch = session.explain_batch(
-            tuples,
-            workers=workers,
-            limit=member_limit,
-            timeout_seconds=timeout_seconds,
-        )
-        runs = [
-            TupleRun(
-                scenario=scenario.name,
-                database=database_name,
-                tuple_value=result.tuple_value,
-                closure_seconds=result.closure_seconds,
-                formula_seconds=result.formula_seconds,
-                members=len(result.members),
-                delays=result.delays,
-                exhausted=result.exhausted,
-            )
-            for result in batch.results
-        ]
-    else:
-        runs = [
-            run_tuple(
-                query,
-                database,
-                tup,
-                scenario_name=scenario.name,
-                database_name=database_name,
-                member_limit=member_limit,
-                timeout_seconds=timeout_seconds,
-                evaluation=evaluation,
-                acyclicity=acyclicity,
-                session=session,
-            )
-            for tup in tuples
-        ]
-    return DatabaseRun(
+    runs = _serve_tuples(
+        query, database, tuples, scenario.name, database_name,
+        member_limit, timeout_seconds, acyclicity, session, evaluation, workers,
+    )
+    result = DatabaseRun(
         scenario=scenario.name,
         database=database_name,
         fact_count=len(database),
         tuple_runs=runs,
     )
+    for index, delta in enumerate(deltas or ()):
+        assert session is not None  # guarded above
+        session.update(delta)
+        evaluation = session.evaluation
+        label = f"{database_name}+u{index + 1}"
+        tuples = sample_answer_tuples(
+            query, database, count=tuples_per_database, seed=seed,
+            evaluation=evaluation,
+        )
+        update_runs = _serve_tuples(
+            query, database, tuples, scenario.name, label,
+            member_limit, timeout_seconds, acyclicity, session, evaluation, workers,
+        )
+        result.update_runs.append(
+            DatabaseRun(
+                scenario=scenario.name,
+                database=label,
+                fact_count=len(database),
+                tuple_runs=update_runs,
+            )
+        )
+    return result
 
 
 def run_scenario(

@@ -138,26 +138,47 @@ def gri_maps_from_instances(
     Accepts either the recorded trace of ``evaluate(...,
     record_instances=True)`` or the output of :func:`ground_instances`;
     the two are interchangeable (the engine records every instance the
-    round after its last body fact appears). Cost is ``O(|gri|)`` — no
-    body re-matching against the model.
+    round after its last body fact appears). Cost is ``O(|gri| log |gri|)``
+    — no body re-matching against the model.
+
+    The per-head hyperedge and instance lists are returned in a
+    *canonical* order (sorted by string key), and the deduplication of
+    multiset-equal instances keeps a canonical representative, so the
+    maps — and everything derived from them: closures, CNF variable
+    numbering, member discovery order — depend only on the *set* of
+    ground instances, never on the order the engine happened to fire
+    them. This is what lets an incrementally maintained trace (see
+    :mod:`repro.core.incremental`), whose instances arrive in update
+    order rather than fixpoint-round order, reproduce a cold session
+    bit for bit.
     """
-    edges: Dict[Atom, List[HyperEdge]] = {}
-    instances: Dict[Atom, List[RuleInstance]] = {}
-    seen_edges: Set[Tuple[Atom, FrozenSet[Atom]]] = set()
-    seen_instances: Set[Tuple[Atom, Tuple[Atom, ...]]] = set()
+    edges_by_key: Dict[Atom, Dict[FrozenSet[Atom], HyperEdge]] = {}
+    instances_by_key: Dict[Atom, Dict[Tuple[Atom, ...], RuleInstance]] = {}
     for ground in ground_rules:
-        edge_key = (ground.head, ground.body_set())
-        if edge_key not in seen_edges:
-            seen_edges.add(edge_key)
-            edges.setdefault(ground.head, []).append(
-                HyperEdge(ground.head, ground.body_set())
-            )
+        targets = ground.body_set()
+        head_edges = edges_by_key.setdefault(ground.head, {})
+        if targets not in head_edges:
+            head_edges[targets] = HyperEdge(ground.head, targets)
         instance = RuleInstance(ground.head, ground.body)
-        instance_key = (instance.head, instance.multiset_key())
-        if instance_key not in seen_instances:
-            seen_instances.add(instance_key)
-            instances.setdefault(ground.head, []).append(instance)
+        head_instances = instances_by_key.setdefault(ground.head, {})
+        key = instance.multiset_key()
+        previous = head_instances.get(key)
+        if previous is None or _instance_body_key(instance) < _instance_body_key(previous):
+            head_instances[key] = instance
+    edges = {
+        head: sorted(head_edges.values(), key=str)
+        for head, head_edges in edges_by_key.items()
+    }
+    instances = {
+        head: sorted(head_instances.values(), key=_instance_body_key)
+        for head, head_instances in instances_by_key.items()
+    }
     return edges, instances
+
+
+def _instance_body_key(instance: RuleInstance) -> Tuple[str, ...]:
+    """Canonical sort key for a rule instance: its body atoms as strings."""
+    return tuple(map(repr, instance.body))
 
 
 def _gri_maps(

@@ -127,6 +127,100 @@ class TestBatch:
         assert "tc(b, c): 1 members" in out
 
 
+class TestBatchWatch:
+    def _watch(self, monkeypatch, stdin_text, argv):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_text))
+        return main(argv)
+
+    def test_insert_reserves_with_new_witness(self, files, capsys, monkeypatch):
+        program, database = files
+        code = self._watch(
+            monkeypatch,
+            "+e(c, d).\n\n",
+            ["batch", program, database, "--answer", "tc",
+             "--all-answers", "--watch"],
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # Served twice: the initial batch lacks tc(a, d), the re-serve has it.
+        assert captured.out.count("tc(a, c):") == 2
+        assert "tc(a, d): 2 members" in captured.out
+        assert "update v1: 1 inserted, 0 deleted" in captured.err
+        # Incremental maintenance, never a second evaluation.
+        assert "1 evaluation(s)" in captured.err.splitlines()[-1]
+
+    def test_delete_retires_witness(self, files, capsys, monkeypatch):
+        program, database = files
+        code = self._watch(
+            monkeypatch,
+            "-e(b, c).\n\n",
+            ["batch", program, database, "--answer", "tc",
+             "--tuples", "a,c", "--watch"],
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Before: both witnesses; after the deletion only the direct edge.
+        assert "tc(a, c): 2 members" in out
+        assert "tc(a, c): 1 members" in out
+
+    def test_eof_commits_staged_delta(self, files, capsys, monkeypatch):
+        program, database = files
+        code = self._watch(
+            monkeypatch,
+            "+e(c, d).\n",  # no blank line: EOF must commit
+            ["batch", program, database, "--answer", "tc",
+             "--tuples", "a,d", "--watch"],
+        )
+        assert code == 1  # the pre-update serve saw a non-answer
+        out = capsys.readouterr().out
+        assert "tc(a, d): not an answer" in out
+        assert "tc(a, d): 2 members" in out
+
+    def test_out_of_schema_insert_rejected_loop_survives(self, files, capsys, monkeypatch):
+        program, database = files
+        code = self._watch(
+            monkeypatch,
+            "+zzz(q).\n\n+e(c, d).\n\n",
+            ["batch", program, database, "--answer", "tc",
+             "--tuples", "a,d", "--watch"],
+        )
+        assert code == 1  # only the pre-update/rejected serves lack tc(a, d)
+        captured = capsys.readouterr()
+        assert "update rejected" in captured.err
+        assert "zzz" in captured.err
+        # The loop survived the rejection and applied the next delta.
+        assert "tc(a, d): 2 members" in captured.out
+
+    def test_bad_lines_are_skipped(self, files, capsys, monkeypatch):
+        program, database = files
+        code = self._watch(
+            monkeypatch,
+            "wibble\n+not a fact\n\n",
+            ["batch", program, database, "--answer", "tc",
+             "--tuples", "a,b", "--watch"],
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "ignored watch line" in err
+
+    def test_deleting_last_edges_empties_answers(self, files, capsys, monkeypatch):
+        program, database = files
+        code = self._watch(
+            monkeypatch,
+            "-e(a, b). e(b, c).\n-e(a, c).\n\n",
+            ["batch", program, database, "--answer", "tc",
+             "--all-answers", "--watch"],
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "3 inserted" not in captured.err
+        assert "0 inserted, 3 deleted" in captured.err
+        # The re-serve has no answers left to print.
+        assert "% 0 tuples served" in captured.err
+
+
 class TestDecide:
     def test_member(self, files, tmp_path, capsys):
         program, database = files

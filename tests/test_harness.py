@@ -109,6 +109,41 @@ class TestRunner:
         assert run.members == 1
         assert not run.exhausted
 
+    def test_run_database_with_deltas_reserves_after_updates(self):
+        from repro.datalog.atoms import Atom
+        from repro.datalog.database import Delta
+
+        scenario = get_scenario("TransClosure")
+        database = scenario.database("bitcoin")
+        some_edge = sorted(database.facts(), key=str)[0]
+        deltas = [
+            Delta.delete(some_edge),
+            Delta.insert(Atom("e", ("tnew", "tnew2"))),
+        ]
+        run = run_database(
+            scenario, "bitcoin", tuples_per_database=2, member_limit=3,
+            timeout_seconds=5, deltas=deltas,
+        )
+        assert len(run.update_runs) == 2
+        assert [u.database for u in run.update_runs] == [
+            "bitcoin+u1", "bitcoin+u2",
+        ]
+        for update_run in run.update_runs:
+            assert update_run.tuple_runs  # re-sampled and re-served
+            assert all(r.members >= 1 for r in update_run.tuple_runs)
+        # The second update's fact count reflects both deltas.
+        assert run.update_runs[1].fact_count == run.fact_count
+
+    def test_run_database_deltas_require_session_path(self):
+        from repro.datalog.database import Delta
+
+        scenario = get_scenario("TransClosure")
+        with pytest.raises(ValueError, match="incremental maintenance"):
+            run_database(
+                scenario, "bitcoin", tuples_per_database=1,
+                use_session=False, deltas=[Delta()],
+            )
+
 
 class TestTables:
     def test_render_alignment(self):

@@ -1,0 +1,549 @@
+"""Tests for incremental view maintenance (deltas, DRed, live sessions).
+
+The load-bearing properties:
+
+* ``Database.apply`` returns the *effective* delta and round-trips with
+  ``Delta.inverted``;
+* ``ranks_from_instances`` reproduces the engine's stage ranks exactly
+  from a fixpoint trace (differential, across scenarios);
+* ``maintain_evaluation`` (DRed deletions + delta-semi-naive insertions)
+  is indistinguishable from a from-scratch evaluation: same model, same
+  ranks, same rounds, and the trace-patching invariant
+  ``set(trace) == set(ground_instances(program, model))``;
+* ``session.update(delta)`` keeps the session byte-identical to a cold
+  session over the updated database — answers, witnesses, *witness
+  order* — across random update sequences on the TransClosure and
+  Andersen queries, including deletion cascades through transitive
+  closure, while never re-evaluating and while retaining the cached
+  closures the delta does not reach;
+* snapshot blobs are cached per session version and invalidated by
+  updates; stale workers detect version mismatches.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import parallel as parallel_module
+from repro.core.parallel import EvaluationSnapshot
+from repro.core.session import ProvenanceSession
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database, Delta
+from repro.datalog.engine import (
+    evaluate,
+    ground_instances,
+    maintain_evaluation,
+    ranks_from_instances,
+)
+from repro.datalog.parser import parse_database, parse_program
+from repro.datalog.program import DatalogQuery
+from repro.scenarios import get_scenario
+
+TC_PROGRAM = parse_program(
+    """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    """
+)
+TC_QUERY = DatalogQuery(TC_PROGRAM, "tc")
+
+
+def tc_session(facts: str) -> ProvenanceSession:
+    return ProvenanceSession(TC_QUERY, Database(parse_database(facts)))
+
+
+def edge(a: str, b: str) -> Atom:
+    return Atom("e", (a, b))
+
+
+# ---------------------------------------------------------------------------
+# Delta and Database.apply
+# ---------------------------------------------------------------------------
+
+
+class TestDelta:
+    def test_insert_delete_constructors(self):
+        delta = Delta.insert(edge("a", "b"))
+        assert delta.inserted == {edge("a", "b")} and not delta.deleted
+        delta = Delta.delete(edge("a", "b"))
+        assert delta.deleted == {edge("a", "b")} and not delta.inserted
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="inserts and deletes"):
+            Delta(inserted={edge("a", "b")}, deleted={edge("a", "b")})
+
+    def test_non_ground_rejected(self):
+        from repro.datalog.terms import Variable
+
+        with pytest.raises(ValueError, match="not a ground fact"):
+            Delta.insert(Atom("e", (Variable("X"), "b")))
+
+    def test_empty_len_bool(self):
+        assert Delta().is_empty() and not Delta() and len(Delta()) == 0
+        delta = Delta.insert(edge("a", "b"))
+        assert delta and len(delta) == 1 and not delta.is_empty()
+
+    def test_inverted(self):
+        delta = Delta(inserted={edge("a", "b")}, deleted={edge("c", "d")})
+        inv = delta.inverted()
+        assert inv.inserted == delta.deleted and inv.deleted == delta.inserted
+
+    def test_apply_reports_effective_delta(self):
+        db = Database([edge("a", "b")])
+        effective = db.apply(
+            Delta(
+                inserted={edge("a", "b"), edge("b", "c")},  # a,b redundant
+                deleted={edge("x", "y")},  # absent
+            )
+        )
+        assert effective.inserted == {edge("b", "c")}
+        assert effective.deleted == frozenset()
+        assert db == {edge("a", "b"), edge("b", "c")}
+
+    def test_apply_then_inverted_round_trips(self):
+        db = Database([edge("a", "b"), edge("b", "c")])
+        before = db.facts()
+        effective = db.apply(
+            Delta(inserted={edge("c", "d")}, deleted={edge("a", "b")})
+        )
+        db.apply(effective.inverted())
+        assert db.facts() == before
+
+
+# ---------------------------------------------------------------------------
+# ranks_from_instances: exactness against the engine
+# ---------------------------------------------------------------------------
+
+
+class TestRanksFromInstances:
+    @pytest.mark.parametrize(
+        "scenario_name,database_name",
+        [("TransClosure", "bitcoin"), ("Andersen", "D1"), ("Galen", "D1")],
+    )
+    def test_matches_engine_ranks(self, scenario_name, database_name):
+        scenario = get_scenario(scenario_name)
+        query = scenario.query()
+        database = scenario.database(database_name).restrict(query.program.edb)
+        evaluation = evaluate(query.program, database, record_instances=True)
+        assert (
+            ranks_from_instances(database, evaluation.instances)
+            == evaluation.ranks
+        )
+
+    def test_handles_seeded_intensional_fact(self):
+        # A fact of the answer predicate placed directly in the database
+        # has rank 0 even when also derivable at a deeper stage.
+        program = parse_program("p(X) :- q(X). p(X) :- p(X), r(X).")
+        database = Database(parse_database("q(a). r(a). p(a)."))
+        evaluation = evaluate(program, database, record_instances=True)
+        assert ranks_from_instances(database, evaluation.instances) == evaluation.ranks
+        assert evaluation.ranks[Atom("p", ("a",))] == 0
+
+
+# ---------------------------------------------------------------------------
+# maintain_evaluation: differential against from-scratch evaluation
+# ---------------------------------------------------------------------------
+
+
+def assert_maintained_equals_fresh(program, database, evaluation, delta):
+    """Apply *delta*, maintain, and compare against a cold evaluation."""
+    effective = database.apply(delta)
+    result = maintain_evaluation(program, database, evaluation, effective)
+    fresh = evaluate(program, database, record_instances=True)
+    assert result.evaluation.model == fresh.model
+    assert result.evaluation.ranks == fresh.ranks
+    assert result.evaluation.rounds == fresh.rounds
+    assert set(result.evaluation.instances) == set(fresh.instances)
+    # The trace-patching invariant, stated directly:
+    assert set(result.evaluation.instances) == set(
+        ground_instances(program, result.evaluation.model)
+    )
+    return result
+
+
+class TestMaintainEvaluation:
+    def test_requires_trace(self):
+        database = Database([edge("a", "b")])
+        evaluation = evaluate(TC_PROGRAM, database)
+        with pytest.raises(ValueError, match="instance trace"):
+            maintain_evaluation(TC_PROGRAM, database, evaluation, Delta())
+
+    def test_insertion_extends_closure(self):
+        database = Database([edge("a", "b")])
+        evaluation = evaluate(TC_PROGRAM, database, record_instances=True)
+        result = assert_maintained_equals_fresh(
+            TC_PROGRAM, database, evaluation, Delta.insert(edge("b", "c"))
+        )
+        assert Atom("tc", ("a", "c")) in result.added_facts
+        assert result.removed_facts == frozenset()
+
+    def test_deletion_cascades_through_transitive_closure(self):
+        # A chain a -> b -> c -> d: deleting the middle edge must retract
+        # every tc fact crossing it, transitively.
+        database = Database(
+            [edge("a", "b"), edge("b", "c"), edge("c", "d")]
+        )
+        evaluation = evaluate(TC_PROGRAM, database, record_instances=True)
+        result = assert_maintained_equals_fresh(
+            TC_PROGRAM, database, evaluation, Delta.delete(edge("b", "c"))
+        )
+        assert Atom("tc", ("a", "c")) in result.removed_facts
+        assert Atom("tc", ("a", "d")) in result.removed_facts
+        assert Atom("tc", ("b", "d")) in result.removed_facts
+        assert Atom("tc", ("a", "b")) not in result.removed_facts
+
+    def test_dred_rederives_alternative_derivations(self):
+        # tc(a, c) via b and directly: deleting one path keeps the fact.
+        database = Database([edge("a", "b"), edge("b", "c"), edge("a", "c")])
+        evaluation = evaluate(TC_PROGRAM, database, record_instances=True)
+        result = assert_maintained_equals_fresh(
+            TC_PROGRAM, database, evaluation, Delta.delete(edge("b", "c"))
+        )
+        assert Atom("tc", ("a", "c")) in result.evaluation.model
+        assert result.overdeleted > result.rederived > 0
+
+    def test_deletion_does_not_resurrect_through_cycles(self):
+        # A cycle reachable only through the deleted edge must die with
+        # it: cyclic instances alone cannot re-derive their own support.
+        database = Database([edge("a", "b"), edge("b", "c"), edge("c", "b")])
+        evaluation = evaluate(TC_PROGRAM, database, record_instances=True)
+        result = assert_maintained_equals_fresh(
+            TC_PROGRAM, database, evaluation, Delta.delete(edge("a", "b"))
+        )
+        assert Atom("tc", ("a", "c")) in result.removed_facts
+        assert Atom("tc", ("b", "c")) in result.evaluation.model
+
+    def test_mixed_delta_delete_then_reinsert_path(self):
+        database = Database([edge("a", "b"), edge("b", "c")])
+        evaluation = evaluate(TC_PROGRAM, database, record_instances=True)
+        assert_maintained_equals_fresh(
+            TC_PROGRAM,
+            database,
+            evaluation,
+            Delta(deleted={edge("b", "c")}, inserted={edge("b", "d"), edge("d", "c")}),
+        )
+
+    def test_noop_delta_changes_nothing(self):
+        database = Database([edge("a", "b")])
+        evaluation = evaluate(TC_PROGRAM, database, record_instances=True)
+        result = maintain_evaluation(TC_PROGRAM, database, evaluation, Delta())
+        assert not result.changed()
+        assert result.evaluation.model == evaluation.model
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_random_updates_match_fresh_evaluation(self, data):
+        nodes = "abcdef"
+        all_edges = sorted(
+            {edge(u, v) for u in nodes for v in nodes if u != v}, key=str
+        )
+        initial = data.draw(st.sets(st.sampled_from(all_edges), min_size=1, max_size=10))
+        database = Database(initial)
+        evaluation = evaluate(TC_PROGRAM, database, record_instances=True)
+        for _ in range(data.draw(st.integers(1, 3))):
+            inserted = data.draw(
+                st.sets(st.sampled_from(all_edges), max_size=3)
+            )
+            deletable = sorted(database.facts(), key=str)
+            deleted = data.draw(
+                st.sets(st.sampled_from(deletable), max_size=3)
+                if deletable
+                else st.just(set())
+            )
+            delta = Delta(inserted=frozenset(inserted) - frozenset(deleted),
+                          deleted=frozenset(deleted))
+            result = assert_maintained_equals_fresh(
+                TC_PROGRAM, database, evaluation, delta
+            )
+            evaluation = result.evaluation
+
+
+# ---------------------------------------------------------------------------
+# ProvenanceSession.update: live sessions vs cold sessions
+# ---------------------------------------------------------------------------
+
+
+def assert_session_equals_cold(session, query=None):
+    """The maintained session must be byte-identical to a cold one."""
+    cold = ProvenanceSession(query or session.query, session.database.copy())
+    assert session.model == cold.model
+    assert session.ranks == cold.ranks
+    assert session.answers() == cold.answers()
+    for tup in session.answers():
+        assert session.why(tup) == cold.why(tup)  # lists: order included
+    return cold
+
+
+class TestSessionUpdate:
+    def test_insert_creates_new_witness(self):
+        session = tc_session("e(a, b). e(b, c).")
+        before = session.why(("a", "c"))
+        assert len(before) == 1
+        receipt = session.update(Delta.insert(edge("a", "c")))
+        assert receipt.changed()
+        after = session.why(("a", "c"))
+        assert len(after) == 2
+        assert frozenset({edge("a", "c")}) in after
+        assert_session_equals_cold(session)
+
+    def test_delete_retires_cached_witness(self):
+        session = tc_session("e(a, b). e(b, c). e(a, c).")
+        assert len(session.why(("a", "c"))) == 2
+        session.update(Delta.delete(edge("b", "c")))
+        members = session.why(("a", "c"))
+        assert members == [frozenset({edge("a", "c")})]
+        assert_session_equals_cold(session)
+
+    def test_deletion_cascade_removes_answer(self):
+        session = tc_session("e(a, b). e(b, c). e(c, d).")
+        assert session.is_answer(("a", "d"))
+        session.update(Delta.delete(edge("b", "c")))
+        assert not session.is_answer(("a", "d"))
+        assert session.why(("a", "d")) == []
+        assert_session_equals_cold(session)
+
+    def test_never_reevaluates(self):
+        session = tc_session("e(a, b). e(b, c).")
+        session.why(("a", "c"))
+        for delta in (
+            Delta.insert(edge("c", "d")),
+            Delta.delete(edge("a", "b")),
+            Delta.insert(edge("a", "b")),
+        ):
+            session.update(delta)
+            session.answers()
+            for tup in session.answers():
+                session.why(tup)
+        assert session.stats.evaluations == 1
+        assert session.stats.updates == 3
+
+    def test_unaffected_closures_survive_identically(self):
+        session = tc_session("e(a, b). e(x, y). e(y, z).")
+        untouched = session.closure_for(("x", "z"))
+        receipt = session.update(Delta.insert(edge("b", "c")))
+        assert receipt.retained_closures >= 1
+        # Not merely equal — the identical cached object.
+        assert session.closure_for(("x", "z")) is untouched
+        assert session.stats.closure_invalidations == receipt.invalidated_closures
+
+    def test_affected_closures_are_dropped(self):
+        session = tc_session("e(a, b). e(b, c).")
+        stale = session.closure_for(("a", "c"))
+        receipt = session.update(Delta.insert(edge("a", "c")))
+        assert receipt.invalidated_closures >= 1
+        assert session.closure_for(("a", "c")) is not stale
+
+    def test_non_answer_verdict_invalidated_when_fact_appears(self):
+        session = tc_session("e(a, b).")
+        assert session.closure_or_none(Atom("tc", ("b", "c"))) is None
+        session.update(Delta.insert(edge("b", "c")))
+        closure = session.closure_or_none(Atom("tc", ("b", "c")))
+        assert closure is not None and closure.root == Atom("tc", ("b", "c"))
+
+    def test_noop_update_retains_everything(self):
+        session = tc_session("e(a, b). e(b, c).")
+        closure = session.closure_for(("a", "c"))
+        version = session.version
+        receipt = session.update(Delta.insert(edge("a", "b")))  # already present
+        assert not receipt.changed()
+        assert session.version == version
+        assert session.closure_for(("a", "c")) is closure
+
+    def test_update_without_trace_falls_back_to_invalidate(self):
+        # The record_instances=False foil has no trace to maintain: an
+        # effective update must stay correct (apply + invalidate), never
+        # leave the database and the caches out of sync.
+        session = ProvenanceSession(
+            TC_QUERY,
+            Database(parse_database("e(a, b). e(b, c).")),
+            record_instances=False,
+        )
+        session.why(("a", "c"))
+        assert session.stats.evaluations == 1
+        receipt = session.update(Delta.insert(edge("c", "d")))
+        assert receipt.changed() and receipt.invalidated_closures >= 1
+        assert session.answers() == ProvenanceSession(
+            TC_QUERY, session.database.copy()
+        ).answers()
+        assert session.stats.evaluations == 2  # fell back to re-evaluation
+        # And the no-op variant keeps the caches.
+        receipt = session.update(Delta.insert(edge("c", "d")))
+        assert not receipt.changed()
+        assert session.stats.evaluations == 2
+
+    def test_rejected_update_leaves_session_untouched(self):
+        session = tc_session("e(a, b).")
+        session.answers()
+        version = session.version
+        before = session.database.facts()
+        with pytest.raises(ValueError, match="extensional schema"):
+            session.update(Delta.insert(Atom("tc", ("a", "b"))))
+        assert session.database.facts() == before
+        assert session.version == version
+        assert session.answers() == [("a", "b")]
+
+    def test_update_before_first_evaluation(self):
+        session = tc_session("e(a, b).")
+        receipt = session.update(Delta.insert(edge("b", "c")))
+        assert receipt.changed() and session.stats.evaluations == 0
+        assert session.answers() == [("a", "b"), ("a", "c"), ("b", "c")]
+        assert session.stats.evaluations == 1
+
+    def test_update_rejects_non_delta(self):
+        session = tc_session("e(a, b).")
+        with pytest.raises(TypeError, match="Delta"):
+            session.update({edge("b", "c")})
+
+    def test_update_rejects_fact_outside_schema(self):
+        session = tc_session("e(a, b).")
+        with pytest.raises(ValueError):
+            session.update(Delta.insert(Atom("tc", ("a", "b"))))
+            session.answers()
+
+    def test_explain_batch_after_update_matches_cold(self):
+        session = tc_session("e(a, b). e(b, c). e(c, d).")
+        session.explain_batch()
+        session.update(
+            Delta(inserted={edge("d", "e")}, deleted={edge("a", "b")})
+        )
+        cold = ProvenanceSession(TC_QUERY, session.database.copy())
+        live = session.explain_batch()
+        fresh = cold.explain_batch()
+        assert [r.tuple_value for r in live.results] == [
+            r.tuple_value for r in fresh.results
+        ]
+        assert [r.members for r in live.results] == [
+            r.members for r in fresh.results
+        ]
+
+    def test_decide_and_minimal_after_update(self):
+        session = tc_session("e(a, b). e(b, c). e(a, c).")
+        session.why(("a", "c"))
+        session.update(Delta.delete(edge("a", "c")))
+        support = {edge("a", "b"), edge("b", "c")}
+        assert session.decide(("a", "c"), support)
+        assert session.smallest_member(("a", "c")) == frozenset(support)
+
+
+SCENARIO_CASES = [
+    ("TransClosure", 14, 20),
+    ("Andersen", None, None),
+]
+
+
+def _scenario_database(name, rng):
+    if name == "TransClosure":
+        nodes = [f"n{i}" for i in range(10)]
+        facts = set()
+        while len(facts) < 16:
+            a, b = rng.sample(nodes, 2)
+            facts.add(edge(a, b))
+        return get_scenario(name).query(), Database(facts)
+    from repro.scenarios.andersen import andersen_database, andersen_query
+
+    return andersen_query(), andersen_database(num_vars=14, num_statements=30, seed=rng.randrange(10 ** 6))
+
+
+def _random_scenario_delta(query, database, rng, size=2):
+    predicates = sorted(query.program.edb)
+    facts = sorted(database.facts(), key=str)
+    deleted = set(rng.sample(facts, k=min(size, len(facts))))
+    inserted = set()
+    while len(inserted) < size and facts:
+        template = rng.choice(facts)
+        args = list(template.args)
+        args[rng.randrange(len(args))] = rng.choice(
+            [a for f in facts for a in f.args]
+        )
+        candidate = Atom(template.pred, tuple(args))
+        if candidate not in database and candidate not in deleted:
+            inserted.add(candidate)
+    return Delta(inserted=frozenset(inserted), deleted=frozenset(deleted))
+
+
+@pytest.mark.parametrize("scenario_name", ["TransClosure", "Andersen"])
+def test_random_update_sequences_match_cold_sessions(scenario_name):
+    """The acceptance property: random update sequences over the
+    TransClosure and Andersen scenarios keep an incrementally maintained
+    session identical — answers, witnesses, witness order — to a cold
+    session over the updated database."""
+    rng = random.Random(77)
+    query, database = _scenario_database(scenario_name, rng)
+    session = ProvenanceSession(query, database)
+    for tup in session.answers()[:4]:
+        session.why(tup, limit=10)
+    for step in range(6):
+        delta = _random_scenario_delta(query, session.database, rng)
+        session.update(delta)
+        cold = ProvenanceSession(query, session.database.copy())
+        assert session.answers() == cold.answers(), f"step {step}"
+        assert session.ranks == cold.ranks, f"step {step}"
+        sample = session.answers()[:6]
+        for tup in sample:
+            assert session.why(tup, limit=10) == cold.why(tup, limit=10), (
+                f"step {step}, tuple {tup}"
+            )
+        assert set(session.evaluation.instances) == set(
+            ground_instances(query.program, session.model)
+        ), f"step {step}"
+    assert session.stats.evaluations == 1
+
+
+# ---------------------------------------------------------------------------
+# Snapshot versioning (the parallel path under updates)
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotVersioning:
+    def test_snapshot_blob_cached_per_version(self):
+        session = tc_session("e(a, b). e(b, c).")
+        blob = session.snapshot_bytes()
+        assert session.snapshot_bytes() is blob  # cached, not re-pickled
+        session.update(Delta.insert(edge("c", "d")))
+        fresh = session.snapshot_bytes()
+        assert fresh is not blob
+        assert EvaluationSnapshot.from_bytes(fresh).version == session.version
+
+    def test_invalidate_bumps_version_and_drops_blob(self):
+        session = tc_session("e(a, b).")
+        blob = session.snapshot_bytes()
+        version = session.version
+        session.invalidate()
+        assert session.version == version + 1
+        assert session.snapshot_bytes() is not blob
+
+    def test_restored_session_carries_version(self):
+        session = tc_session("e(a, b).")
+        session.update(Delta.insert(edge("b", "c")))
+        restored = EvaluationSnapshot.capture(session).restore()
+        assert restored.version == session.version
+        assert restored.why(("a", "c")) == session.why(("a", "c"))
+
+    def test_stale_chunk_version_detected(self, monkeypatch):
+        session = tc_session("e(a, b). e(b, c).")
+        blob = session.snapshot_bytes()
+        monkeypatch.setattr(parallel_module, "_WORKER_SNAPSHOT", None)
+        monkeypatch.setattr(parallel_module, "_WORKER_SESSION", None)
+        parallel_module._init_worker(blob)
+        chunk = [(0, ("a", "c"))]
+        results = parallel_module._run_chunk((chunk, None, None, session.version))
+        assert results[0].is_answer
+        with pytest.raises(RuntimeError, match="stale worker snapshot"):
+            parallel_module._run_chunk((chunk, None, None, session.version + 1))
+
+    def test_drifted_worker_session_rehydrates(self, monkeypatch):
+        session = tc_session("e(a, b). e(b, c).")
+        blob = session.snapshot_bytes()
+        monkeypatch.setattr(parallel_module, "_WORKER_SNAPSHOT", None)
+        monkeypatch.setattr(parallel_module, "_WORKER_SESSION", None)
+        parallel_module._init_worker(blob)
+        # Simulate a worker whose live session drifted from its snapshot.
+        parallel_module._WORKER_SESSION.version += 5
+        drifted = parallel_module._WORKER_SESSION
+        results = parallel_module._run_chunk(
+            ([(0, ("a", "c"))], None, None, session.version)
+        )
+        assert results[0].is_answer
+        assert parallel_module._WORKER_SESSION is not drifted

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Dead-link gate for the Markdown documentation.
+
+Scans every ``*.md`` file under the documentation roots (``README.md``,
+``docs/``, and any extra roots given on the command line) for Markdown
+links and images — ``[text](target)`` / ``![alt](target)`` — and fails
+when a *relative* target does not exist on disk, resolved against the
+linking file's directory. Checked targets may carry ``#fragments`` (the
+path part is validated) and may point at files or directories.
+
+Deliberately out of scope, so the gate stays fast and offline:
+
+* absolute URLs (``http:``, ``https:``, ``mailto:`` and any other
+  scheme) — network checks do not belong in CI gates;
+* intra-document anchors (bare ``#section`` targets);
+* reference-style definitions and autolinks, which this repository's
+  documentation does not use.
+
+Pure standard library, no imports of the package under test. Exit status
+is 0 when every relative link resolves, 1 with a ``file:line`` listing of
+every dead link otherwise.
+
+Usage::
+
+    python tools/check_doc_links.py              # README.md + docs/
+    python tools/check_doc_links.py docs extra/  # explicit roots
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: The repository root (this file lives in ``<root>/tools``).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Roots scanned when no arguments are given.
+DEFAULT_ROOTS = ("README.md", "docs")
+
+#: ``[text](target)`` or ``![alt](target)``; target captured up to the
+#: first unescaped closing paren (documentation links here never nest).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: A scheme prefix (``http:``, ``mailto:``, ...) — out of scope.
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+#: (file, line number, raw target) of a link that does not resolve.
+DeadLink = Tuple[Path, int, str]
+
+
+def iter_markdown_files(roots: Iterable[Path]) -> List[Path]:
+    """Every ``*.md`` file under the given files/directories (sorted)."""
+    files: List[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        elif root.suffix.lower() == ".md":
+            files.append(root)
+    return files
+
+
+def check_file(path: Path) -> List[DeadLink]:
+    """Return every dead relative link of one Markdown file."""
+    dead: List[DeadLink] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if _SCHEME.match(target) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                dead.append((path, lineno, target))
+    return dead
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the process exit status."""
+    roots = [Path(arg) for arg in argv[1:]] or [
+        REPO_ROOT / name for name in DEFAULT_ROOTS
+    ]
+    missing_roots = [root for root in roots if not root.exists()]
+    if missing_roots:
+        for root in missing_roots:
+            print(f"error: {root} does not exist", file=sys.stderr)
+        return 2
+    files = iter_markdown_files(roots)
+    dead: List[DeadLink] = []
+    for path in files:
+        dead.extend(check_file(path))
+    if not dead:
+        print(f"doc links OK: {len(files)} file(s), no dead relative links")
+        return 0
+    for path, lineno, target in dead:
+        print(f"{path}:{lineno}: dead link: {target}")
+    print(f"{len(dead)} dead link(s)", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -41,6 +41,7 @@ def extract_tables(text: str) -> str:
 
 
 def main() -> int:
+    """CLI entry point; returns the process exit status."""
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     bench_path = os.path.join(root, "bench_output.txt")
     experiments_path = os.path.join(root, "EXPERIMENTS.md")
