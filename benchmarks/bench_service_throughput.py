@@ -1,0 +1,228 @@
+"""Service daemon throughput: concurrent clients against one live daemon.
+
+A real TCP daemon is started in-process (`local_service`), one scenario
+database is admitted, and three things are measured:
+
+* **cold admission vs warm hit** — the ``open`` request that evaluates
+  the program and builds the session, against the ``open`` that finds it
+  live in the registry (the number that justifies keeping sessions warm);
+* **throughput vs concurrency** — a fixed pool of ``why`` requests over
+  the sampled answer tuples, fired by 1, 2, 4, ... concurrent client
+  threads (each with its own TCP connection; override the ladder with
+  ``REPRO_BENCH_SERVICE_CLIENTS="1,2,4,8"``). Requests against one
+  session serialize on the per-session lock, so the curve measures the
+  dispatch + wire overhead the daemon adds around the cached pipeline —
+  on a multi-core host, point the clients at different databases to see
+  cross-session parallelism instead;
+* **update-storm recovery** — a burst of single-fact updates (insert
+  then delete), recording per-update maintenance latency and the first
+  ``why`` after each: how fast the daemon is back to warm serving after
+  every write, without ever re-evaluating.
+
+Emits ``BENCH_service_throughput.json`` with all three sections.
+"""
+
+import os
+import statistics
+import threading
+import time
+
+from repro.datalog.io import database_to_text, program_to_text
+from repro.harness.runner import sample_from_answers
+from repro.scenarios import get_scenario
+from repro.service.client import ServiceClient, local_service
+
+from _common import (
+    BENCH_MEMBERS,
+    BENCH_TIMEOUT,
+    print_banner,
+    run_once,
+    write_bench_json,
+)
+
+SERVICE_CLIENTS = [
+    int(part)
+    for part in os.environ.get("REPRO_BENCH_SERVICE_CLIENTS", "1,2,4").split(",")
+    if part.strip()
+]
+SERVICE_SCENARIO = os.environ.get("REPRO_BENCH_SERVICE_SCENARIO", "TransClosure")
+SERVICE_DATABASE = os.environ.get("REPRO_BENCH_SERVICE_DB", "bitcoin")
+#: Total why-requests per concurrency point (split across the clients).
+SERVICE_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "48"))
+#: Distinct answer tuples the request pool cycles through.
+SERVICE_TUPLES = int(os.environ.get("REPRO_BENCH_SERVICE_TUPLES", "8"))
+#: Updates in the storm phase.
+SERVICE_UPDATES = int(os.environ.get("REPRO_BENCH_SERVICE_UPDATES", "6"))
+
+
+def _throughput_point(address, digest, tuples, clients):
+    """Fire SERVICE_REQUESTS why-requests from *clients* threads; time it."""
+    per_client = max(1, SERVICE_REQUESTS // clients)
+    errors = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(offset):
+        try:
+            with ServiceClient(host=address[0], port=address[1]) as mine:
+                barrier.wait()
+                for index in range(per_client):
+                    tup = tuples[(offset + index) % len(tuples)]
+                    response = mine.why(
+                        digest, tup, limit=BENCH_MEMBERS, timeout=BENCH_TIMEOUT
+                    )
+                    if not response["ok"]:  # pragma: no cover - would be a bug
+                        errors.append(response)
+        except Exception as exc:
+            # Break the barrier so nobody (main thread included) waits
+            # forever on a party that already failed.
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(offset,))
+        for offset in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        barrier.wait()
+    except threading.BrokenBarrierError:
+        pass  # a worker failed before the start line; errors has it
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    assert not errors, errors[:3]
+    total = per_client * clients
+    return {
+        "clients": clients,
+        "requests": total,
+        "seconds": seconds,
+        "requests_per_second": total / seconds if seconds else 0.0,
+    }
+
+
+def _run_service_benchmark():
+    scenario = get_scenario(SERVICE_SCENARIO)
+    query = scenario.query()
+    database = scenario.database(SERVICE_DATABASE).restrict(query.program.edb)
+    program_text = program_to_text(query.program)
+    database_text = database_to_text(database)
+    with local_service(threads=max(SERVICE_CLIENTS) + 2) as client:
+        address = client.address
+
+        # Cold admission: parse + evaluate + snapshot, all in one request.
+        cold_started = time.perf_counter()
+        opened = client.open(program_text, database_text, query.answer_predicate)
+        cold_seconds = time.perf_counter() - cold_started
+        digest = opened["session"]
+        assert opened["result"]["admitted"] is True
+
+        # Warm hits: the same open served from the registry.
+        warm_samples = []
+        for _ in range(5):
+            warm_started = time.perf_counter()
+            reopened = client.open(program_text, database_text, query.answer_predicate)
+            warm_samples.append(time.perf_counter() - warm_started)
+            assert reopened["result"]["admitted"] is False
+        warm_seconds = statistics.median(warm_samples)
+
+        answers = [
+            tuple(values) for values in client.answers(digest)["result"]["answers"]
+        ]
+        tuples = sample_from_answers(answers, count=SERVICE_TUPLES, seed=7)
+
+        # Prime the per-fact caches once so every concurrency point
+        # measures the same (warm) serving work.
+        for tup in tuples:
+            client.why(digest, tup, limit=BENCH_MEMBERS, timeout=BENCH_TIMEOUT)
+
+        curve = [
+            _throughput_point(address, digest, tuples, clients)
+            for clients in SERVICE_CLIENTS
+        ]
+
+        # Update storm: per-update maintenance plus back-to-warm reads.
+        update_seconds = []
+        recovery_seconds = []
+        probe = tuples[0]
+        for index in range(SERVICE_UPDATES):
+            line = (
+                f"+{_storm_fact(scenario.name, index)}."
+                if index % 2 == 0
+                else f"-{_storm_fact(scenario.name, index - 1)}."
+            )
+            started = time.perf_counter()
+            client.update(digest, lines=[line])
+            update_seconds.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            client.why(digest, probe, limit=BENCH_MEMBERS, timeout=BENCH_TIMEOUT)
+            recovery_seconds.append(time.perf_counter() - started)
+        stats = client.stats(digest)["result"]
+        assert stats["session_stats"]["evaluations"] == 1
+
+    return {
+        "scenario": scenario.name,
+        "database": SERVICE_DATABASE,
+        "fact_count": opened["result"]["fact_count"],
+        "request_pool": {
+            "tuples": SERVICE_TUPLES,
+            "requests_per_point": SERVICE_REQUESTS,
+            "member_limit": BENCH_MEMBERS,
+            "timeout_seconds": BENCH_TIMEOUT,
+        },
+        "admission": {
+            "cold_seconds": cold_seconds,
+            "warm_hit_seconds": warm_seconds,
+            "warm_hit_samples": warm_samples,
+            "cost_bytes": opened["result"]["cost_bytes"],
+        },
+        "throughput_curve": curve,
+        "update_storm": {
+            "updates": SERVICE_UPDATES,
+            "update_seconds": update_seconds,
+            "first_why_after_update_seconds": recovery_seconds,
+            "evaluations_after_storm": stats["session_stats"]["evaluations"],
+        },
+    }
+
+
+def _storm_fact(scenario_name, index):
+    if scenario_name == "TransClosure":
+        return f"e(storm{index}, storm{index + 1})"
+    return f"addressof(storm{index}, storm{index + 1})"
+
+
+def test_service_throughput(benchmark, capsys):
+    payload = run_once(benchmark, _run_service_benchmark)
+    with capsys.disabled():
+        print_banner(
+            f"Service daemon throughput ({payload['scenario']}/"
+            f"{payload['database']}, {os.cpu_count()} cores)"
+        )
+        admission = payload["admission"]
+        print(
+            f"cold admission {admission['cold_seconds']:.3f}s, "
+            f"warm hit {admission['warm_hit_seconds'] * 1000:.2f}ms "
+            f"({admission['cost_bytes']} bytes accounted)"
+        )
+        print(f"{'clients':>8} {'requests':>9} {'seconds':>9} {'req/s':>8}")
+        for row in payload["throughput_curve"]:
+            print(
+                f"{row['clients']:>8} {row['requests']:>9} "
+                f"{row['seconds']:>9.3f} {row['requests_per_second']:>8.1f}"
+            )
+        storm = payload["update_storm"]
+        print(
+            f"update storm: {storm['updates']} updates, "
+            f"median update {statistics.median(storm['update_seconds']) * 1000:.2f}ms, "
+            f"median back-to-warm why "
+            f"{statistics.median(storm['first_why_after_update_seconds']) * 1000:.2f}ms, "
+            f"evaluations still {storm['evaluations_after_storm']}"
+        )
+        path = write_bench_json("service_throughput", payload)
+        print(f"machine-readable record: {path}")
+    # The acceptance shape: at least two concurrency points, all served.
+    assert len(payload["throughput_curve"]) >= 2
+    assert all(row["requests_per_second"] > 0 for row in payload["throughput_curve"])
+    assert payload["update_storm"]["evaluations_after_storm"] == 1

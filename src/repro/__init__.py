@@ -82,7 +82,7 @@ from .provenance import (
 )
 from .sat import CDCLSolver, CNF, solve_cnf
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Atom",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands expose the library to shell users::
+Ten subcommands expose the library to shell users::
 
     python -m repro eval     program.dl data.dl --answer tc
     python -m repro why      program.dl data.dl --answer tc --tuple a,b
@@ -13,6 +13,8 @@ Eight subcommands expose the library to shell users::
     python -m repro semiring program.dl data.dl --answer tc --tuple a,b \
                              --semiring tropical
     python -m repro explain  program.dl data.dl --answer tc --tuple a,b
+    python -m repro serve    --port 7463            (or --stdio)
+    python -m repro client   --connect localhost:7463 requests.ndjson
 
 ``batch`` is the session-backed mode: one
 :class:`~repro.core.session.ProvenanceSession` evaluates ``(D, Sigma)``
@@ -27,6 +29,14 @@ incremental view maintenance (:meth:`ProvenanceSession.update`) on each
 blank line, and the batch is re-served — the evaluation is patched, never
 redone.
 
+``serve`` runs the provenance service daemon — live sessions keyed by a
+``(program, database)`` content digest behind the newline-delimited JSON
+protocol of :mod:`repro.service` — over a TCP socket (``--port``, 0 for
+ephemeral) or stdin/stdout (``--stdio``). ``client`` is its scripting
+counterpart: it reads request objects (one JSON per line) from a file or
+stdin, sends each to a running daemon, and prints one response per line.
+See ``docs/SERVICE.md`` for the protocol.
+
 Programs and databases use the textual Datalog syntax of
 :mod:`repro.datalog.parser`; tuples are comma-separated constants (decimal
 literals are read as integers, everything else as strings).
@@ -35,6 +45,7 @@ literals are read as integers, everything else as strings).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -199,7 +210,9 @@ def _serve_batch(session: ProvenanceSession, tuples, args: argparse.Namespace) -
 def _watch_loop(session: ProvenanceSession, tuples, args: argparse.Namespace) -> int:
     """The ``batch --watch`` read-update-reserve loop; returns failures.
 
-    Reads delta lines from stdin: ``+fact.`` stages an insertion,
+    Reads delta lines from stdin — the shared textual delta format of
+    :func:`~repro.datalog.io.parse_delta_line`, the same one the service
+    daemon's ``update`` requests carry: ``+fact.`` stages an insertion,
     ``-fact.`` a deletion (several facts per line are allowed). A blank
     line commits the staged delta through
     :meth:`~repro.core.session.ProvenanceSession.update` — incremental
@@ -208,6 +221,7 @@ def _watch_loop(session: ProvenanceSession, tuples, args: argparse.Namespace) ->
     are reported on stderr and skipped.
     """
     from .datalog.database import Delta
+    from .datalog.io import parse_delta_line
 
     failures = 0
     inserted: List = []
@@ -244,20 +258,15 @@ def _watch_loop(session: ProvenanceSession, tuples, args: argparse.Namespace) ->
         return _serve_batch(session, targets, args)
 
     for raw in sys.stdin:
-        line = raw.strip()
-        if not line:
+        try:
+            parsed = parse_delta_line(raw)
+        except ValueError as exc:
+            print(f"% ignored watch line ({exc}): {raw.strip()}", file=sys.stderr)
+            continue
+        if parsed is None:
             failures += commit()
             continue
-        sign, rest = line[0], line[1:].strip()
-        if sign not in "+-":
-            print(f"% ignored watch line (expected +fact. or -fact.): {line}",
-                  file=sys.stderr)
-            continue
-        try:
-            facts = parse_database(rest)
-        except Exception as exc:
-            print(f"% ignored watch line ({exc}): {line}", file=sys.stderr)
-            continue
+        sign, facts = parsed
         (inserted if sign == "+" else deleted).extend(facts)
     failures += commit()
     return failures
@@ -352,6 +361,78 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.registry import SessionRegistry
+    from .service.server import ProvenanceService, TCPServiceServer, serve_stdio
+
+    registry = SessionRegistry(
+        max_sessions=args.max_sessions,
+        max_bytes=args.max_bytes if args.max_bytes > 0 else None,
+    )
+    service = ProvenanceService(
+        registry=registry,
+        threads=args.threads,
+        batch_workers=args.workers,
+        parallel_threshold=args.parallel_threshold,
+    )
+    if args.stdio:
+        try:
+            return serve_stdio(service)
+        finally:
+            service.close()
+    server = TCPServiceServer(service, host=args.host, port=args.port)
+    # Stderr, flushed: scripts binding port 0 read the ephemeral port here.
+    print(
+        f"% repro service listening on {server.host}:{server.port}",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, parse_address
+    from .service.protocol import ServiceError
+
+    host, port = parse_address(args.connect)
+    stream = sys.stdin if args.requests in (None, "-") else open(args.requests)
+    failures = 0
+    with ServiceClient(host=host, port=port) as client:
+        for raw in stream:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                if not isinstance(payload, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                print(f"% bad request line ({exc}): {line}", file=sys.stderr)
+                failures += 1
+                continue
+            try:
+                response = client.request(payload)
+            except (ServiceError, OSError) as exc:
+                # The daemon went away mid-script (e.g. a request after
+                # a shutdown): diagnose and stop, don't traceback.
+                print(f"% request failed ({exc}): {line}", file=sys.stderr)
+                failures += 1
+                break
+            print(json.dumps(response, sort_keys=True), flush=True)
+            if not response.get("ok"):
+                failures += 1
+    if stream is not sys.stdin:
+        stream.close()
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -465,6 +546,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_explain)
     p_explain.set_defaults(func=_cmd_explain)
+
+    from .core.parallel import PARALLEL_BATCH_THRESHOLD
+    from .service.registry import DEFAULT_MAX_BYTES, DEFAULT_MAX_SESSIONS
+    from .service.server import DEFAULT_DISPATCH_THREADS
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the provenance service daemon (NDJSON over TCP or stdio)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=7463,
+        help="TCP port (0 = ephemeral, printed on stderr; default: 7463)",
+    )
+    p_serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one client over stdin/stdout instead of TCP",
+    )
+    p_serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=DEFAULT_MAX_SESSIONS,
+        help="live sessions kept warm before LRU eviction "
+        f"(default: {DEFAULT_MAX_SESSIONS})",
+    )
+    p_serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=DEFAULT_MAX_BYTES,
+        help="byte budget across live sessions, 0 = unbounded "
+        f"(default: {DEFAULT_MAX_BYTES // (1024 * 1024)} MiB)",
+    )
+    p_serve.add_argument(
+        "--threads",
+        type=int,
+        default=DEFAULT_DISPATCH_THREADS,
+        help="request dispatcher threads "
+        f"(default: {DEFAULT_DISPATCH_THREADS})",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for large batch requests "
+        "(default: 1, serial; 0 = one per core)",
+    )
+    p_serve.add_argument(
+        "--parallel-threshold",
+        type=int,
+        default=PARALLEL_BATCH_THRESHOLD,
+        help="batch size at which --workers kicks in "
+        f"(default: {PARALLEL_BATCH_THRESHOLD})",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="send NDJSON requests to a running service daemon",
+    )
+    p_client.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="daemon address, e.g. localhost:7463",
+    )
+    p_client.add_argument(
+        "requests",
+        nargs="?",
+        default=None,
+        help="file of request lines (default: stdin)",
+    )
+    p_client.set_defaults(func=_cmd_client)
     return parser
 
 

@@ -54,6 +54,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
@@ -66,6 +67,19 @@ from .session import ProvenanceSession
 
 #: Upper bound on pool size when ``workers=None`` asks for "all cores".
 MAX_AUTO_WORKERS = 16
+
+#: Below this many tuples a batch is not worth forking a pool for: the
+#: snapshot pickle plus worker start-up dominates the per-fact work. The
+#: service daemon uses this to route small batches through the serial
+#: in-process path and only large ones through the pool.
+PARALLEL_BATCH_THRESHOLD = 8
+
+#: Serializes pool creation (the fork moment) across threads. A threaded
+#: server may run several batches concurrently; forking while another
+#: thread mutates interpreter state is the classic fork-with-threads
+#: hazard, so only one pool is ever being spawned at a time. Held only
+#: around ``Pool()`` construction, never around the batch itself.
+_FORK_LOCK = threading.Lock()
 
 
 def default_worker_count() -> int:
@@ -481,11 +495,13 @@ class ParallelProvenanceExplainer:
         ]
         context = multiprocessing.get_context(self.start_method)
         results: List[FactResult] = []
-        with context.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(snapshot_blob,),
-        ) as pool:
+        with _FORK_LOCK:
+            pool = context.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(snapshot_blob,),
+            )
+        with pool:
             # chunksize=1 keeps the pool's own batching out of the way:
             # each worker pulls exactly one payload at a time, which is
             # the work-stealing behavior for skewed closure sizes.

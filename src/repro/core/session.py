@@ -41,6 +41,7 @@ into the shared caches.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
@@ -135,6 +136,14 @@ class ProvenanceSession:
         #: snapshots are stamped with it, so a snapshot (or a worker
         #: rehydrated from one) can tell it has gone stale.
         self.version = 0
+        #: Per-session reentrant guard for multi-threaded callers. The
+        #: session's caches are plain dicts, so concurrent cache fills
+        #: race without it; methods do **not** take the lock themselves
+        #: (single-threaded use stays free), callers that share a session
+        #: across threads — the service dispatcher above all — wrap each
+        #: operation in ``with session.lock:``. Reentrant because session
+        #: methods call each other (``why`` → ``encoding`` → ``closure``).
+        self.lock = threading.RLock()
         self._snapshot_cache: Optional[Tuple[int, bytes]] = None
         self._evaluation: Optional[EvaluationResult] = None
         self._gri: Optional[
@@ -481,6 +490,21 @@ class ProvenanceSession:
         blob = EvaluationSnapshot.capture(self).to_bytes()
         self._snapshot_cache = (self.version, blob)
         return blob
+
+    def estimated_bytes(self) -> int:
+        """Approximate resident cost of the session, for byte budgets.
+
+        The service registry charges each admitted session against a byte
+        budget; the measure is the pickled evaluation snapshot (query +
+        database + recorded trace — the state that dominates a warm
+        session's footprint), cached per :attr:`version` so repeated
+        accounting is free. Falls back to a fact-count heuristic when
+        some component refuses to pickle.
+        """
+        try:
+            return len(self.snapshot_bytes())
+        except Exception:
+            return 128 * (len(self.database) + len(self.model))
 
     def invalidate(self) -> None:
         """Drop every cached artifact (call after mutating the database)."""

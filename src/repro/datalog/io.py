@@ -16,15 +16,27 @@ and external datasets are interchangeable:
 Values consisting only of digits (with an optional leading minus) are
 read back as integers so that round-tripping preserves the term types
 the parser produces.
+
+Beyond the file formats, two families of helpers serve the wire-facing
+entry points (``batch --watch`` and the provenance service daemon):
+
+* :func:`program_to_text` / :func:`database_to_text` — render a program
+  or database back into the textual Datalog syntax the parser reads, so
+  a ``(program, database)`` pair can be shipped over a socket and
+  rebuilt on the other side (``parse_program(program_to_text(p)) == p``);
+* :func:`parse_delta_line` / :func:`delta_from_lines` — the textual
+  delta format shared by every updating entry point: ``+fact.`` stages
+  an insertion, ``-fact.`` a deletion, several facts per line allowed.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .atoms import Atom
-from .database import Database
+from .database import Database, Delta
+from .program import Program
 
 #: Extension used by per-relation files (the Soufflé convention).
 FACTS_SUFFIX = ".facts"
@@ -150,3 +162,76 @@ def save_csv(database: Database, path: str, delimiter: str = "\t") -> int:
             handle.write(delimiter.join(fields) + "\n")
             rows += 1
     return rows
+
+
+# -- textual Datalog round-trips ---------------------------------------------
+
+
+def program_to_text(program: Program) -> str:
+    """Render *program* in the textual syntax :func:`parse_program` reads.
+
+    Rule order is preserved, one rule per line. The round-trip is exact:
+    ``parse_program(program_to_text(p)) == p``.
+    """
+    return "\n".join(str(rule) for rule in program.rules)
+
+
+def database_to_text(database: Iterable[Atom]) -> str:
+    """Render a fact set in the syntax :func:`parse_database` reads.
+
+    Facts are sorted, one per line, so textually equal outputs mean equal
+    databases — the property the service registry's content digests rely
+    on. The round-trip is exact up to fact order.
+    """
+    return "\n".join(sorted(f"{fact}." for fact in database))
+
+
+# -- the textual delta format -------------------------------------------------
+
+
+def parse_delta_line(line: str) -> Optional[Tuple[str, List[Atom]]]:
+    """Parse one delta line: ``+fact.`` inserts, ``-fact.`` deletes.
+
+    Several facts per line are allowed after one sign (``+e(a, b). e(b,
+    c).`` stages two insertions). Returns ``(sign, facts)`` with ``sign``
+    one of ``"+"`` / ``"-"``, or ``None`` for a blank line (callers treat
+    blank lines as commit points or skip them). Raises :class:`ValueError`
+    for a malformed line — a missing sign or an unparsable fact — with a
+    message naming what went wrong; callers decide whether to skip or
+    reject.
+    """
+    from .parser import parse_database
+
+    text = line.strip()
+    if not text:
+        return None
+    sign, rest = text[0], text[1:].strip()
+    if sign not in "+-":
+        raise ValueError("expected +fact. or -fact.")
+    try:
+        facts = parse_database(rest)
+    except Exception as exc:
+        raise ValueError(str(exc)) from exc
+    return sign, facts
+
+
+def delta_from_lines(lines: Sequence[str]) -> Delta:
+    """Build one :class:`~repro.datalog.database.Delta` from delta lines.
+
+    Blank lines are skipped (there is no staging here — the whole
+    sequence is one delta). Raises :class:`ValueError` for a malformed
+    line (message includes the offending line) or for a delta that both
+    inserts and deletes the same fact.
+    """
+    inserted: List[Atom] = []
+    deleted: List[Atom] = []
+    for line in lines:
+        try:
+            parsed = parse_delta_line(line)
+        except ValueError as exc:
+            raise ValueError(f"bad delta line {line.strip()!r}: {exc}") from exc
+        if parsed is None:
+            continue
+        sign, facts = parsed
+        (inserted if sign == "+" else deleted).extend(facts)
+    return Delta(inserted=frozenset(inserted), deleted=frozenset(deleted))

@@ -95,6 +95,27 @@ class DatabaseRun:
         return delays
 
 
+def sample_from_answers(
+    answers: Sequence[Tuple],
+    count: int = DEFAULT_TUPLES_PER_DATABASE,
+    seed: int = 7,
+) -> List[Tuple]:
+    """Sample *count* tuples from an answer list (sorted first, fixed seed).
+
+    The sampling kernel shared by the in-process and the service-backed
+    experiment paths — both sort before sampling, so the same seed picks
+    the same tuples whether the answers came from a local evaluation or
+    over the wire.
+    """
+    answers = sorted(answers)
+    if not answers:
+        return []
+    rng = random.Random(seed)
+    if len(answers) <= count:
+        return list(answers)
+    return rng.sample(answers, count)
+
+
 def sample_answer_tuples(
     query: DatalogQuery,
     database: Database,
@@ -109,15 +130,10 @@ def sample_answer_tuples(
     """
     if evaluation is None:
         evaluation = evaluate(query.program, database)
-    answers = sorted(
+    answers = [
         fact.args for fact in evaluation.model.relation(query.answer_predicate)
-    )
-    if not answers:
-        return []
-    rng = random.Random(seed)
-    if len(answers) <= count:
-        return list(answers)
-    return rng.sample(answers, count)
+    ]
+    return sample_from_answers(answers, count=count, seed=seed)
 
 
 def run_tuple(
@@ -203,6 +219,126 @@ def _serve_tuples(
     ]
 
 
+def _tuple_runs_from_batch(
+    batch_result: Dict,
+    scenario_name: str,
+    database_name: str,
+) -> List[TupleRun]:
+    """TupleRuns from one wire ``batch`` result (the service-backed path)."""
+    return [
+        TupleRun(
+            scenario=scenario_name,
+            database=database_name,
+            tuple_value=tuple(entry["tuple"]),
+            closure_seconds=entry["closure_seconds"],
+            formula_seconds=entry["formula_seconds"],
+            members=len(entry["members"]),
+            delays=list(entry["delays"]),
+            exhausted=entry["exhausted"],
+        )
+        for entry in batch_result["results"]
+    ]
+
+
+def _run_database_via_service(
+    client,
+    scenario: Scenario,
+    database_name: str,
+    query: DatalogQuery,
+    database: Database,
+    tuples_per_database: int,
+    member_limit: Optional[int],
+    timeout_seconds: Optional[float],
+    seed: int,
+    workers: int,
+    deltas: Optional[Sequence[Delta]],
+) -> DatabaseRun:
+    """The experiment routed through a service daemon instead of in-process.
+
+    Exactly the in-process protocol — open a (warm) session, sample the
+    answer tuples with the shared seeded kernel, serve the batch, replay
+    any deltas through ``update`` requests and re-serve — except every
+    step is a wire request. The output is byte-identical to the
+    in-process path (same tuples, same member counts, same exhaustion
+    flags; ``tests/test_service_roundtrip.py`` asserts it), which is what
+    makes the daemon a drop-in serving tier for the experiments.
+    """
+    from ..datalog.io import database_to_text, program_to_text
+
+    opened = client.open(
+        program_to_text(query.program),
+        database_to_text(database),
+        query.answer_predicate,
+    )
+    digest = opened["session"]
+    if opened["version"] != 0:
+        # A warm hit on a session some earlier client (or a previous
+        # deltas= run) has updated: its database no longer matches the
+        # texts just sent. Refuse rather than label post-update results
+        # as the original database — experiments wanting isolation run
+        # their own daemon (service=True).
+        raise ValueError(
+            f"service session {digest} has drifted to version "
+            f"{opened['version']} under updates; run against a private "
+            "daemon (service=True) for a pristine database"
+        )
+
+    expected_version = 0
+
+    def check_version(response, label: str) -> None:
+        # Every wire response is stamped with the session version it was
+        # served at; anything other than the version this experiment
+        # last established means a concurrent foreign update slipped in
+        # — refuse rather than record mislabeled results.
+        if response["version"] != expected_version:
+            raise ValueError(
+                f"service session {digest} drifted to version "
+                f"{response['version']} (expected {expected_version}) "
+                f"while serving {label}; a concurrent client updated it — "
+                "run against a private daemon (service=True) for isolation"
+            )
+
+    def serve(label: str) -> List[TupleRun]:
+        # Sampling happens daemon-side (same seeded kernel), so only the
+        # handful of sampled tuples crosses the wire, never Q(D) itself.
+        answered = client.answers(digest, sample=tuples_per_database, seed=seed)
+        check_version(answered, label)
+        tuples = [tuple(values) for values in answered["result"]["answers"]]
+        batch = client.batch(
+            digest,
+            tuples=tuples,
+            limit=member_limit,
+            timeout=timeout_seconds,
+            workers=workers,
+        )
+        check_version(batch, label)
+        return _tuple_runs_from_batch(batch["result"], scenario.name, label)
+
+    runs = serve(database_name)
+    result = DatabaseRun(
+        scenario=scenario.name,
+        database=database_name,
+        fact_count=opened["result"]["fact_count"],
+        tuple_runs=runs,
+    )
+    for index, delta in enumerate(deltas or ()):
+        lines = [f"+{fact}." for fact in sorted(delta.inserted, key=str)]
+        lines += [f"-{fact}." for fact in sorted(delta.deleted, key=str)]
+        receipt = client.update(digest, lines=lines)
+        expected_version = receipt["version"]
+        label = f"{database_name}+u{index + 1}"
+        update_runs = serve(label)
+        result.update_runs.append(
+            DatabaseRun(
+                scenario=scenario.name,
+                database=label,
+                fact_count=receipt["result"]["fact_count"],
+                tuple_runs=update_runs,
+            )
+        )
+    return result
+
+
 def run_database(
     scenario: Scenario,
     database_name: str,
@@ -214,6 +350,7 @@ def run_database(
     use_session: bool = True,
     workers: int = 1,
     deltas: Optional[Sequence[Delta]] = None,
+    service=None,
 ) -> DatabaseRun:
     """Run the full per-database experiment of Section 5.3.
 
@@ -232,6 +369,15 @@ def run_database(
     view maintenance, no re-evaluation — the answer tuples are re-sampled
     over the updated model with the same seed, and the batch is re-served;
     each re-serve lands in :attr:`DatabaseRun.update_runs`.
+
+    ``service`` routes the whole experiment through the provenance
+    service daemon instead of an in-process session: pass a connected
+    :class:`~repro.service.client.ServiceClient`, or ``True`` to spin up
+    a private local daemon for this call. Every step — session admission,
+    answer sampling, batch serving, delta replay — becomes a wire
+    request, and the results are byte-identical to the in-process path.
+    Requires the session path (``use_session=True``); ``workers`` is
+    forwarded as the batch request's worker count.
     """
     query = scenario.query()
     database = scenario.database(database_name)
@@ -239,6 +385,40 @@ def run_database(
     # Doctors family); each variant sees its slice over edb(Sigma), as the
     # decision problems require a database over the extensional schema.
     database = database.restrict(query.program.edb)
+    if service is not None and service is not False:
+        if not use_session:
+            # The daemon *is* the session path; a foil run through it
+            # would silently measure the wrong grounding algorithm.
+            raise ValueError(
+                "service routing requires the session path (use_session=True)"
+            )
+        if service is True:
+            from ..service.client import local_service
+            from ..service.registry import SessionRegistry
+
+            # The private daemon inherits this experiment's evaluation
+            # knobs, so acyclicity is honored, not silently defaulted.
+            registry = SessionRegistry(acyclicity=acyclicity)
+            with local_service(registry=registry) as client:
+                return _run_database_via_service(
+                    client, scenario, database_name, query, database,
+                    tuples_per_database, member_limit, timeout_seconds,
+                    seed, workers, deltas,
+                )
+        daemon_acyclicity = service.stats()["result"].get("acyclicity")
+        if daemon_acyclicity is not None and daemon_acyclicity != acyclicity:
+            # Refuse rather than silently measuring the daemon's encoding
+            # labeled as the requested one (same logic as the foil
+            # refusals below).
+            raise ValueError(
+                f"service daemon uses acyclicity {daemon_acyclicity!r}; "
+                f"this experiment requested {acyclicity!r}"
+            )
+        return _run_database_via_service(
+            service, scenario, database_name, query, database,
+            tuples_per_database, member_limit, timeout_seconds,
+            seed, workers, deltas,
+        )
     if workers != 1 and not use_session:
         # Refuse rather than silently running serial: the BENCH_*.json
         # envelope records the requested worker count, and a serial run

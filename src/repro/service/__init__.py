@@ -1,0 +1,43 @@
+"""The provenance service daemon: live sessions behind a wire protocol.
+
+The paper's pipeline — evaluate once, answer many provenance requests —
+is the shape of a long-lived server, and this package is that server.
+It turns the three session-era subsystems
+(:class:`~repro.core.session.ProvenanceSession` warm caches,
+:mod:`repro.core.parallel` batch sharding, :mod:`repro.core.incremental`
+view maintenance) into one serving stack:
+
+* :mod:`repro.service.registry` — live sessions keyed by a
+  ``(program, database)`` content digest, LRU-evicted under a session
+  count cap and a byte budget;
+* :mod:`repro.service.protocol` — the newline-delimited JSON wire
+  format (requests ``why`` / ``decide`` / ``smallest`` / ``minimal`` /
+  ``batch`` / ``update`` / ``stats`` and friends);
+* :mod:`repro.service.server` — the dispatcher plus TCP and stdio
+  transports (``python -m repro serve``);
+* :mod:`repro.service.client` — the synchronous client
+  (``python -m repro client``) and the :func:`local_service` fixture.
+
+See ``docs/SERVICE.md`` for the protocol reference and a worked
+walkthrough.
+"""
+
+from .client import ServiceClient, local_service, parse_address
+from .protocol import OPS, PROTOCOL_VERSION, ServiceError
+from .registry import SessionEntry, SessionRegistry, content_digest
+from .server import ProvenanceService, TCPServiceServer, serve_stdio
+
+__all__ = [
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProvenanceService",
+    "ServiceClient",
+    "ServiceError",
+    "SessionEntry",
+    "SessionRegistry",
+    "TCPServiceServer",
+    "content_digest",
+    "local_service",
+    "parse_address",
+    "serve_stdio",
+]

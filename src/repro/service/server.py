@@ -1,0 +1,595 @@
+"""The provenance service daemon: request dispatcher plus transports.
+
+:class:`ProvenanceService` is the transport-independent heart: it owns a
+:class:`~repro.service.registry.SessionRegistry` and a bounded thread
+dispatcher, and turns one request object into one response object. The
+two transports are thin framing shells around it:
+
+* :class:`TCPServiceServer` — a threading TCP server speaking
+  newline-delimited JSON; one reader thread per connection, every request
+  dispatched through the shared thread pool, so concurrent clients
+  genuinely execute concurrently (bounded by ``threads``) while requests
+  *within* one connection keep their order.
+* :func:`serve_stdio` — the same protocol over stdin/stdout for
+  single-client scripting and tests (``python -m repro serve --stdio``).
+
+Concurrency contract
+--------------------
+
+Every session-touching operation runs under that session's reentrant
+lock (:attr:`ProvenanceSession.lock`), so concurrent requests against one
+warm session serialize their cache fills instead of racing, while
+requests against *different* sessions proceed in parallel. Responses are
+stamped with the session ``version`` read inside the lock: a client
+interleaving ``update`` and read traffic can attribute every answer to
+the exact database state that produced it. Large ``batch`` requests
+reuse the version-stamped parallel snapshot path
+(:meth:`ProvenanceSession.explain_batch` with workers) — the fork moment
+itself is serialized process-wide by :data:`repro.core.parallel._FORK_LOCK`.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import sys
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from ..core.decision import TREE_CLASSES
+from ..core.parallel import PARALLEL_BATCH_THRESHOLD
+from ..datalog.database import Delta
+from ..datalog.io import delta_from_lines
+from ..datalog.parser import parse_database
+from .protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ServiceError,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+    render_member,
+    render_members,
+    tuple_from_json,
+)
+from .registry import SessionEntry, SessionRegistry
+
+#: Default size of the shared request dispatcher.
+DEFAULT_DISPATCH_THREADS = 8
+
+
+def _preload_handler_modules() -> None:
+    """Import everything the handlers and forked workers load lazily.
+
+    A daemon forks batch pools from a *threaded* process; a child forked
+    while another dispatcher thread holds the interpreter's import lock
+    would deadlock inside its own first import. Importing every lazy
+    handler dependency once, before serving begins, removes that window.
+    Runs at service construction (not module import) so merely importing
+    this module — e.g. the CLI reading a default constant — stays cheap.
+    """
+    from ..core import decision  # noqa: F401
+    from ..core import enumerator  # noqa: F401
+    from ..core import incremental  # noqa: F401
+    from ..core import minimal  # noqa: F401
+    from ..core import parallel  # noqa: F401
+    from ..harness import runner  # noqa: F401
+
+
+def _answer_count(session) -> int:
+    """``|Q(D)|`` without materializing and sorting the answer list."""
+    return len(session.model.relation(session.query.answer_predicate))
+
+
+def _require_tuple(request: Dict):
+    """The request's ``tuple`` field as a Python tuple (``bad-request``)."""
+    if "tuple" not in request:
+        raise ServiceError("bad-request", "request needs a 'tuple' field")
+    return tuple_from_json(request["tuple"])
+
+
+def _optional_number(request: Dict, name: str):
+    """A numeric field or ``None`` (``bad-request`` on wrong type)."""
+    value = request.get(name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServiceError("bad-request", f"{name!r} must be a number")
+    return value
+
+
+def _parse_fact_texts(texts, label: str) -> List:
+    """Parse a JSON array of ``"fact."`` strings (``bad-request``)."""
+    if not isinstance(texts, (list, tuple)):
+        raise ServiceError("bad-request", f"{label!r} must be a JSON array")
+    facts: List = []
+    for text in texts:
+        if not isinstance(text, str):
+            raise ServiceError("bad-request", f"{label!r} entries must be strings")
+        try:
+            facts.extend(parse_database(text))
+        except Exception as exc:
+            raise ServiceError("bad-request", f"bad fact in {label!r} ({exc}): {text}")
+    return facts
+
+
+class ProvenanceService:
+    """Transport-independent dispatcher over a session registry.
+
+    Parameters
+    ----------
+    registry:
+        The session registry to serve from (a default-budget one is
+        created when omitted).
+    threads:
+        Size of the shared dispatcher pool — the bound on concurrently
+        executing requests across all connections.
+    batch_workers:
+        Worker processes for ``batch`` requests that do not pin their own
+        ``workers`` field and meet the parallel threshold (``1`` keeps
+        every batch serial in-process; ``0`` means one per core).
+    parallel_threshold:
+        Minimum batch size that fans out across the worker pool.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SessionRegistry] = None,
+        threads: Optional[int] = None,
+        batch_workers: int = 1,
+        parallel_threshold: int = PARALLEL_BATCH_THRESHOLD,
+    ):
+        _preload_handler_modules()
+        self.registry = registry if registry is not None else SessionRegistry()
+        self.batch_workers = batch_workers
+        self.parallel_threshold = max(1, parallel_threshold)
+        self.started_at = time.time()
+        self.requests_served = 0
+        self._counter_lock = threading.Lock()
+        self._shutdown = threading.Event()
+        # None means default; an explicit value is clamped to >= 1 so
+        # --threads 0 never silently becomes the 8-thread default.
+        if threads is None:
+            threads = DEFAULT_DISPATCH_THREADS
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, threads),
+            thread_name_prefix="repro-service",
+        )
+
+    # -- dispatch -------------------------------------------------------------
+
+    @property
+    def shutdown_requested(self) -> bool:
+        """Whether a ``shutdown`` request has been served."""
+        return self._shutdown.is_set()
+
+    def submit_line(self, line: str) -> "Future[str]":
+        """Dispatch one request line on the shared thread pool."""
+        return self._executor.submit(self.handle_line, line)
+
+    def handle_line(self, line: str) -> str:
+        """One request line in, one response line out (never raises)."""
+        try:
+            request = decode_request(line)
+        except ServiceError as exc:
+            return encode(exc.as_response(None))
+        return encode(self.handle_request(request))
+
+    def handle_request(self, request: Dict) -> Dict:
+        """One request object in, one response object out (never raises)."""
+        request_id = request.get("id")
+        op = request.get("op")
+        try:
+            if not isinstance(op, str) or op not in self._HANDLERS:
+                known = ", ".join(sorted(self._HANDLERS))
+                raise ServiceError("unknown-op", f"unknown op {op!r}; known: {known}")
+            response = getattr(self, "_op_" + op)(request)
+        except ServiceError as exc:
+            response = exc.as_response(request_id)
+        except Exception as exc:  # a bug, not a client error: still answer
+            response = error_response(
+                request_id, "internal-error", f"{type(exc).__name__}: {exc}"
+            )
+        with self._counter_lock:
+            self.requests_served += 1
+        return response
+
+    def close(self) -> None:
+        """Stop the dispatcher (in-flight requests finish)."""
+        self._executor.shutdown(wait=False)
+
+    # -- session resolution ----------------------------------------------------
+
+    def _entry_for(self, request: Dict) -> Tuple[SessionEntry, bool]:
+        """Resolve the session a request addresses (digest or inline texts)."""
+        digest = request.get("session")
+        if digest is not None:
+            if not isinstance(digest, str):
+                raise ServiceError("bad-request", "'session' must be a string digest")
+            return self.registry.get(digest), False
+        program = request.get("program")
+        database = request.get("database")
+        if not isinstance(program, str) or not isinstance(database, str):
+            raise ServiceError(
+                "bad-request",
+                "request needs either a 'session' digest or inline "
+                "'program' and 'database' texts",
+            )
+        answer = request.get("answer")
+        if answer is not None and not isinstance(answer, str):
+            raise ServiceError("bad-request", "'answer' must be a string")
+        return self.registry.acquire(program, database, answer)
+
+    # -- operations ------------------------------------------------------------
+
+    def _op_ping(self, request: Dict) -> Dict:
+        result = {
+            "pong": True,
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+        return ok_response(request.get("id"), "ping", result)
+
+    def _op_shutdown(self, request: Dict) -> Dict:
+        self._shutdown.set()
+        return ok_response(request.get("id"), "shutdown", {"stopping": True})
+
+    def _op_open(self, request: Dict) -> Dict:
+        entry, admitted = self._entry_for(request)
+        with entry.lock:
+            result = {
+                "admitted": admitted,
+                "answer": entry.answer,
+                "answers": _answer_count(entry.session),
+                "fact_count": len(entry.session.database),
+                "cost_bytes": entry.cost_bytes,
+                "admission_seconds": entry.admission_seconds,
+            }
+            version = entry.session.version
+        return ok_response(
+            request.get("id"), "open", result, session=entry.digest, version=version
+        )
+
+    def _op_answers(self, request: Dict) -> Dict:
+        entry, _ = self._entry_for(request)
+        sample = _optional_number(request, "sample")
+        seed = _optional_number(request, "seed")
+        with entry.lock:
+            answers = entry.session.answers()
+            total = len(answers)
+            if sample is not None:
+                # Server-side sampling with the harness's own seeded
+                # kernel: experiments get their handful of tuples
+                # without shipping the whole answer relation.
+                from ..harness.runner import sample_from_answers
+
+                answers = sample_from_answers(
+                    answers,
+                    count=int(sample),
+                    seed=7 if seed is None else int(seed),
+                )
+            payload = [list(tup) for tup in answers]
+            version = entry.session.version
+        return ok_response(
+            request.get("id"),
+            "answers",
+            {"answers": payload, "total": total},
+            session=entry.digest,
+            version=version,
+        )
+
+    def _op_why(self, request: Dict) -> Dict:
+        entry, _ = self._entry_for(request)
+        tup = _require_tuple(request)
+        limit = _optional_number(request, "limit")
+        timeout = _optional_number(request, "timeout")
+        with entry.lock:
+            session = entry.session
+            try:
+                is_answer = session.is_answer(tup)
+            except ValueError as exc:
+                raise ServiceError("bad-request", str(exc))
+            members = session.why(
+                tup,
+                limit=None if limit is None else int(limit),
+                timeout_seconds=timeout,
+            )
+            result = {
+                "is_answer": is_answer,
+                "members": render_members(members),
+            }
+            version = session.version
+        return ok_response(
+            request.get("id"), "why", result, session=entry.digest, version=version
+        )
+
+    def _op_decide(self, request: Dict) -> Dict:
+        entry, _ = self._entry_for(request)
+        tup = _require_tuple(request)
+        if "subset" not in request:
+            raise ServiceError("bad-request", "request needs a 'subset' field")
+        subset = _parse_fact_texts(request["subset"], "subset")
+        tree_class = request.get("tree_class", "unambiguous")
+        if tree_class not in TREE_CLASSES:
+            raise ServiceError(
+                "bad-request",
+                f"unknown tree_class {tree_class!r}; known: {', '.join(TREE_CLASSES)}",
+            )
+        with entry.lock:
+            try:
+                verdict = entry.session.decide(tup, subset, tree_class=tree_class)
+            except ValueError as exc:
+                raise ServiceError("bad-request", str(exc))
+            version = entry.session.version
+        return ok_response(
+            request.get("id"),
+            "decide",
+            {"member": verdict, "tree_class": tree_class},
+            session=entry.digest,
+            version=version,
+        )
+
+    def _op_smallest(self, request: Dict) -> Dict:
+        entry, _ = self._entry_for(request)
+        tup = _require_tuple(request)
+        with entry.lock:
+            try:
+                member = entry.session.smallest_member(tup)
+            except ValueError as exc:
+                raise ServiceError("bad-request", str(exc))
+            result = {
+                "is_answer": member is not None,
+                "member": None if member is None else render_member(member),
+            }
+            version = entry.session.version
+        return ok_response(
+            request.get("id"), "smallest", result, session=entry.digest, version=version
+        )
+
+    def _op_minimal(self, request: Dict) -> Dict:
+        entry, _ = self._entry_for(request)
+        tup = _require_tuple(request)
+        limit = _optional_number(request, "limit")
+        with entry.lock:
+            try:
+                members = entry.session.minimal_members(
+                    tup, limit=None if limit is None else int(limit)
+                )
+            except ValueError as exc:
+                raise ServiceError("bad-request", str(exc))
+            result = {
+                "is_answer": bool(members),
+                "members": render_members(members),
+            }
+            version = entry.session.version
+        return ok_response(
+            request.get("id"), "minimal", result, session=entry.digest, version=version
+        )
+
+    def _op_batch(self, request: Dict) -> Dict:
+        entry, _ = self._entry_for(request)
+        limit = _optional_number(request, "limit")
+        timeout = _optional_number(request, "timeout")
+        chunk_size = _optional_number(request, "chunk_size")
+        with entry.lock:
+            session = entry.session
+            if request.get("all_answers"):
+                tuples = session.answers()
+            else:
+                raw = request.get("tuples")
+                if not isinstance(raw, (list, tuple)):
+                    raise ServiceError(
+                        "bad-request",
+                        "batch needs 'tuples' (array of arrays) or 'all_answers'",
+                    )
+                tuples = [tuple_from_json(values) for values in raw]
+            workers = _optional_number(request, "workers")
+            if workers is None:
+                workers = (
+                    self.batch_workers
+                    if len(tuples) >= self.parallel_threshold
+                    else 1
+                )
+            batch = session.explain_batch(
+                tuples,
+                workers=int(workers),
+                limit=None if limit is None else int(limit),
+                timeout_seconds=timeout,
+                chunk_size=None if chunk_size is None else int(chunk_size),
+            )
+            result = {
+                "workers": batch.workers,
+                "parallel": batch.parallel,
+                "fallback_reason": batch.fallback_reason,
+                "chunk_size": batch.chunk_size,
+                "snapshot_bytes": batch.snapshot_bytes,
+                "total_seconds": batch.total_seconds,
+                "results": [
+                    {
+                        "tuple": list(r.tuple_value),
+                        "is_answer": r.is_answer,
+                        "error": r.error,
+                        "members": render_members(r.members),
+                        "closure_seconds": r.closure_seconds,
+                        "formula_seconds": r.formula_seconds,
+                        "delays": r.delays,
+                        "exhausted": r.exhausted,
+                        "seconds": r.seconds,
+                    }
+                    for r in batch.results
+                ],
+            }
+            version = session.version
+        return ok_response(
+            request.get("id"), "batch", result, session=entry.digest, version=version
+        )
+
+    def _op_update(self, request: Dict) -> Dict:
+        entry, _ = self._entry_for(request)
+        lines = request.get("lines", [])
+        if not isinstance(lines, (list, tuple)):
+            raise ServiceError("bad-request", "'lines' must be a JSON array")
+        if not all(isinstance(line, str) for line in lines):
+            raise ServiceError("bad-request", "'lines' entries must be strings")
+        try:
+            delta = delta_from_lines(lines)
+        except ValueError as exc:
+            raise ServiceError("bad-request", str(exc))
+        if "insert" in request or "delete" in request:
+            inserted = list(delta.inserted) + _parse_fact_texts(
+                request.get("insert", []), "insert"
+            )
+            deleted = list(delta.deleted) + _parse_fact_texts(
+                request.get("delete", []), "delete"
+            )
+            try:
+                delta = Delta(inserted=frozenset(inserted), deleted=frozenset(deleted))
+            except ValueError as exc:
+                raise ServiceError("bad-request", str(exc))
+        if delta.is_empty():
+            raise ServiceError(
+                "bad-request", "update needs 'lines', 'insert', or 'delete' facts"
+            )
+        with entry.lock:
+            session = entry.session
+            try:
+                receipt = session.update(delta)
+            except ValueError as exc:  # schema/type validation rejects cleanly
+                raise ServiceError("bad-request", str(exc))
+            result = {
+                "version": receipt.version,
+                "inserted": len(receipt.effective.inserted),
+                "deleted": len(receipt.effective.deleted),
+                "changed_facts": receipt.dirty_fact_count(),
+                "invalidated_closures": receipt.invalidated_closures,
+                "retained_closures": receipt.retained_closures,
+                "seconds": receipt.seconds,
+                "fact_count": len(session.database),
+                "answers": _answer_count(session),
+            }
+            version = session.version
+        self.registry.refresh_cost(entry)
+        return ok_response(
+            request.get("id"), "update", result, session=entry.digest, version=version
+        )
+
+    def _op_stats(self, request: Dict) -> Dict:
+        result = self.registry.stats()
+        result["protocol"] = PROTOCOL_VERSION
+        result["uptime_seconds"] = time.time() - self.started_at
+        with self._counter_lock:
+            result["requests_served"] = self.requests_served
+        digest = request.get("session")
+        session_field = None
+        version = None
+        if digest is not None:
+            if not isinstance(digest, str):
+                raise ServiceError("bad-request", "'session' must be a string digest")
+            # peek, not get: monitoring must not LRU-touch the entry or
+            # inflate the hit counters it is reporting.
+            entry = self.registry.peek(digest)
+            described = entry.describe()
+            result["session"] = described
+            result["session_stats"] = entry.session.stats.as_dict()
+            version = described["version"]
+            session_field = entry.digest
+        return ok_response(
+            request.get("id"), "stats", result, session=session_field, version=version
+        )
+
+    #: One handler per protocol operation — derived from the protocol's
+    #: own op list so the two can never drift apart (each ``op`` must
+    #: have a matching ``_op_<name>`` method).
+    _HANDLERS = frozenset(OPS)
+
+
+# -- transports ---------------------------------------------------------------
+
+
+class _ServiceHandler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, dispatch, write response lines."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver plumbing
+        service: ProvenanceService = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            response = service.submit_line(line).result()
+            try:
+                self.wfile.write(response.encode("utf-8") + b"\n")
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+            if service.shutdown_requested:
+                self.server.initiate_shutdown()  # type: ignore[attr-defined]
+                return
+
+
+class TCPServiceServer(socketserver.ThreadingTCPServer):
+    """NDJSON-over-TCP transport: one reader thread per connection.
+
+    Bind to port ``0`` for an ephemeral port (read it back from
+    :attr:`port` — the CLI prints it on stderr). ``serve_in_thread``
+    starts the accept loop on a daemon thread and returns it, the shape
+    the tests, the harness round-trip, and :func:`local_service` use.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: ProvenanceService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        super().__init__((host, port), _ServiceHandler)
+
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful after binding to port 0)."""
+        return self.server_address[1]
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Run the accept loop on a daemon thread; returns the thread."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-service-accept", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def initiate_shutdown(self) -> None:
+        """Stop the accept loop from a handler thread (non-blocking)."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+def serve_stdio(
+    service: ProvenanceService,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+) -> int:
+    """The stdio transport: NDJSON requests in, NDJSON responses out.
+
+    Single-client by construction (there is one stdin), requests handled
+    strictly in order. Returns a process exit status: 0 on a clean end of
+    input or ``shutdown`` request.
+    """
+    stdin = sys.stdin if stdin is None else stdin
+    stdout = sys.stdout if stdout is None else stdout
+    for raw in stdin:
+        line = raw.strip()
+        if not line:
+            continue
+        print(service.handle_line(line), file=stdout, flush=True)
+        if service.shutdown_requested:
+            break
+    return 0

@@ -374,3 +374,142 @@ class TestWhyOrder:
             "--order", "size",
         ])
         assert code == 1
+
+
+class TestServeStdio:
+    """The daemon over stdin/stdout: NDJSON in, NDJSON out."""
+
+    def _serve(self, monkeypatch, capsys, request_lines):
+        import io
+        import json
+
+        stdin_text = "".join(json.dumps(r) + "\n" for r in request_lines)
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_text))
+        code = main(["serve", "--stdio"])
+        out = capsys.readouterr().out
+        return code, [json.loads(line) for line in out.splitlines() if line]
+
+    def test_open_why_update_cycle(self, monkeypatch, capsys):
+        code, responses = self._serve(
+            monkeypatch,
+            capsys,
+            [
+                {"id": 1, "op": "open", "program": PROGRAM_TEXT,
+                 "database": DATABASE_TEXT, "answer": "tc"},
+                {"id": 2, "op": "why", "program": PROGRAM_TEXT,
+                 "database": DATABASE_TEXT, "tuple": ["a", "c"]},
+                {"id": 3, "op": "update", "program": PROGRAM_TEXT,
+                 "database": DATABASE_TEXT, "lines": ["-e(b, c)."]},
+                {"id": 4, "op": "why", "program": PROGRAM_TEXT,
+                 "database": DATABASE_TEXT, "tuple": ["a", "c"]},
+            ],
+        )
+        assert code == 0
+        assert [r["id"] for r in responses] == [1, 2, 3, 4]
+        assert responses[0]["result"]["admitted"] is True
+        assert len(responses[1]["result"]["members"]) == 2
+        # The update addressed the same digest (warm hit, not re-admission).
+        assert responses[2]["session"] == responses[0]["session"]
+        assert responses[3]["result"]["members"] == [["e(a, c)."]]
+        assert responses[3]["version"] == 1
+
+    def test_shutdown_stops_the_loop(self, monkeypatch, capsys):
+        code, responses = self._serve(
+            monkeypatch,
+            capsys,
+            [
+                {"id": 1, "op": "shutdown"},
+                {"id": 2, "op": "ping"},  # never reached
+            ],
+        )
+        assert code == 0
+        assert len(responses) == 1 and responses[0]["result"]["stopping"]
+
+    def test_bad_line_answers_with_error(self, monkeypatch, capsys):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("{not json\n"))
+        assert main(["serve", "--stdio"]) == 0
+        (response,) = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line
+        ]
+        assert not response["ok"]
+        assert response["error"]["code"] == "parse-error"
+
+
+class TestClientCommand:
+    """The client subcommand against a live TCP daemon."""
+
+    @pytest.fixture
+    def daemon(self):
+        from repro.service.registry import SessionRegistry
+        from repro.service.server import ProvenanceService, TCPServiceServer
+
+        service = ProvenanceService(registry=SessionRegistry())
+        server = TCPServiceServer(service)
+        server.serve_in_thread()
+        yield f"127.0.0.1:{server.port}"
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    def test_requests_from_stdin(self, daemon, monkeypatch, capsys):
+        import io
+        import json
+
+        requests = [
+            {"op": "ping"},
+            {"op": "why", "program": PROGRAM_TEXT, "database": DATABASE_TEXT,
+             "answer": "tc", "tuple": ["a", "c"]},
+        ]
+        stdin_text = "".join(json.dumps(r) + "\n" for r in requests)
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_text))
+        code = main(["client", "--connect", daemon])
+        assert code == 0
+        responses = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line
+        ]
+        assert responses[0]["result"]["pong"] is True
+        assert len(responses[1]["result"]["members"]) == 2
+
+    def test_requests_from_file_and_failure_exit(self, daemon, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.ndjson"
+        requests.write_text('{"op": "answers", "session": "deadbeef"}\n')
+        code = main(["client", "--connect", daemon, str(requests)])
+        assert code == 1  # error responses flip the exit status
+        (response,) = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line
+        ]
+        assert response["error"]["code"] == "unknown-session"
+
+    def test_bad_request_line_reported(self, daemon, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("{oops\n"))
+        code = main(["client", "--connect", daemon])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "bad request line" in captured.err
+
+    def test_daemon_vanishing_mid_script_is_diagnosed(self, daemon, monkeypatch, capsys):
+        import io
+        import json
+
+        # After shutdown the connection dies; the next request must be
+        # reported as a failure, not crash with a traceback.
+        requests = [{"op": "shutdown"}, {"op": "ping"}]
+        stdin_text = "".join(json.dumps(r) + "\n" for r in requests)
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_text))
+        code = main(["client", "--connect", daemon])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "request failed" in captured.err

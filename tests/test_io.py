@@ -123,3 +123,92 @@ def test_random_relations_round_trip(tmp_path, rows):
     target = tmp_path / "rel"
     save_facts_dir(database, str(target))
     assert load_facts_dir(str(target)) == database
+
+
+class TestTextRoundTrips:
+    """program_to_text / database_to_text: exact parser round-trips."""
+
+    def test_program_round_trip(self):
+        from repro.datalog.io import program_to_text
+        from repro.datalog.parser import parse_program
+
+        text = "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z)."
+        program = parse_program(text)
+        assert parse_program(program_to_text(program)) == program
+        assert program_to_text(program) == text
+
+    def test_database_round_trip_sorted(self, sample_db):
+        from repro.datalog.io import database_to_text
+
+        text = database_to_text(sample_db)
+        assert Database(parse_database(text)) == sample_db
+        # Sorted rendering: equal databases yield equal texts.
+        shuffled = Database(reversed(list(sample_db)))
+        assert database_to_text(shuffled) == text
+
+    def test_database_preserves_integer_terms(self):
+        from repro.datalog.io import database_to_text
+
+        db = Database([Atom("w", ("a", -7))])
+        rebuilt = Database(parse_database(database_to_text(db)))
+        assert rebuilt == db
+        (fact,) = rebuilt
+        assert fact.args[1] == -7 and isinstance(fact.args[1], int)
+
+
+class TestDeltaLines:
+    """The shared +fact./-fact. delta-line parser (CLI watch + service)."""
+
+    def test_insert_line(self):
+        from repro.datalog.io import parse_delta_line
+
+        sign, facts = parse_delta_line("+e(a, b).\n")
+        assert sign == "+" and facts == parse_database("e(a, b).")
+
+    def test_delete_line_multiple_facts(self):
+        from repro.datalog.io import parse_delta_line
+
+        sign, facts = parse_delta_line("  -e(a, b). e(b, c).  ")
+        assert sign == "-" and len(facts) == 2
+
+    def test_blank_line_is_none(self):
+        from repro.datalog.io import parse_delta_line
+
+        assert parse_delta_line("") is None
+        assert parse_delta_line("   \n") is None
+
+    def test_missing_sign_raises(self):
+        from repro.datalog.io import parse_delta_line
+
+        with pytest.raises(ValueError, match=r"\+fact\. or -fact\."):
+            parse_delta_line("e(a, b).")
+
+    def test_garbage_fact_raises(self):
+        from repro.datalog.io import parse_delta_line
+
+        with pytest.raises(ValueError):
+            parse_delta_line("+not a fact")
+
+    def test_rule_in_delta_line_raises(self):
+        from repro.datalog.io import parse_delta_line
+
+        with pytest.raises(ValueError):
+            parse_delta_line("+p(X) :- e(X, Y).")
+
+    def test_delta_from_lines(self):
+        from repro.datalog.io import delta_from_lines
+
+        delta = delta_from_lines(["+e(a, b). e(b, c).", "", "-e(c, d)."])
+        assert len(delta.inserted) == 2 and len(delta.deleted) == 1
+
+    def test_delta_from_lines_names_bad_line(self):
+        from repro.datalog.io import delta_from_lines
+
+        with pytest.raises(ValueError, match="wibble"):
+            delta_from_lines(["+e(a, b).", "wibble"])
+
+    def test_delta_from_lines_rejects_overlap(self):
+        from repro.datalog.io import delta_from_lines
+
+        with pytest.raises(ValueError, match="inserts and deletes"):
+            delta_from_lines(["+e(a, b).", "-e(a, b)."])

@@ -36,8 +36,12 @@ from typing import Iterable, List, Tuple
 #: The repository root (this file lives in ``<root>/tools``).
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Roots scanned when no arguments are given.
-DEFAULT_ROOTS = ("README.md", "docs")
+#: Roots scanned when no arguments are given. ``ROADMAP.md`` and
+#: ``CHANGES.md`` ride along with the documentation proper so that
+#: cross-references from the planning files stay live too; roots that do
+#: not exist in a checkout are skipped (only explicitly requested roots
+#: must exist).
+DEFAULT_ROOTS = ("README.md", "ROADMAP.md", "CHANGES.md", "docs")
 
 #: ``[text](target)`` or ``![alt](target)``; target captured up to the
 #: first unescaped closing paren (documentation links here never nest).
@@ -80,14 +84,29 @@ def check_file(path: Path) -> List[DeadLink]:
 
 def main(argv: List[str]) -> int:
     """CLI entry point; returns the process exit status."""
-    roots = [Path(arg) for arg in argv[1:]] or [
-        REPO_ROOT / name for name in DEFAULT_ROOTS
-    ]
-    missing_roots = [root for root in roots if not root.exists()]
-    if missing_roots:
-        for root in missing_roots:
-            print(f"error: {root} does not exist", file=sys.stderr)
-        return 2
+    if argv[1:]:
+        roots = [Path(arg) for arg in argv[1:]]
+        missing_roots = [root for root in roots if not root.exists()]
+        if missing_roots:
+            for root in missing_roots:
+                print(f"error: {root} does not exist", file=sys.stderr)
+            return 2
+    else:
+        # Default roots are best-effort: a checkout without the optional
+        # planning files is not an error — but a scan that matched *no*
+        # root at all would pass vacuously, so that stays one.
+        roots = [
+            root
+            for name in DEFAULT_ROOTS
+            if (root := REPO_ROOT / name).exists()
+        ]
+        if not roots:
+            print(
+                f"error: none of the default roots {DEFAULT_ROOTS} exist "
+                f"under {REPO_ROOT}",
+                file=sys.stderr,
+            )
+            return 2
     files = iter_markdown_files(roots)
     dead: List[DeadLink] = []
     for path in files:

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Examples-run gate: execute every ``examples/*.py`` and fail on any error.
+
+Documentation rots quietest in example scripts — they are quoted in the
+README and the docs but exercised by nothing. This gate runs each one
+under the tier-1 interpreter (the same ``PYTHONPATH=src`` convention the
+test suite uses), so an API change that breaks a documented example
+breaks CI instead of a reader.
+
+Each example runs as its own subprocess with a timeout; stdout is
+swallowed, stderr is replayed for failures. Exit status is 0 when every
+example exits 0, 1 otherwise (2 for usage errors).
+
+Usage::
+
+    python tools/run_examples.py               # every examples/*.py
+    python tools/run_examples.py quickstart    # only matching names
+    REPRO_EXAMPLES_TIMEOUT=120 python tools/run_examples.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+#: The repository root (this file lives in ``<root>/tools``).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Per-example wall-clock budget, seconds.
+TIMEOUT_SECONDS = float(os.environ.get("REPRO_EXAMPLES_TIMEOUT", "300"))
+
+
+def example_files(patterns: List[str]) -> List[Path]:
+    """Every ``examples/*.py``, filtered by substring patterns (if any)."""
+    files = sorted((REPO_ROOT / "examples").glob("*.py"))
+    if patterns:
+        files = [f for f in files if any(p in f.name for p in patterns)]
+    return files
+
+
+def run_example(path: Path) -> bool:
+    """Run one example; report and return whether it passed."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    started = time.perf_counter()
+    try:
+        completed = subprocess.run(
+            [sys.executable, str(path)],
+            cwd=str(REPO_ROOT),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=TIMEOUT_SECONDS,
+        )
+    except subprocess.TimeoutExpired:
+        print(f"FAIL {path.name}: timeout after {TIMEOUT_SECONDS:.0f}s")
+        return False
+    seconds = time.perf_counter() - started
+    if completed.returncode != 0:
+        print(f"FAIL {path.name} (exit {completed.returncode}, {seconds:.1f}s)")
+        sys.stderr.write(completed.stderr)
+        return False
+    print(f"ok   {path.name} ({seconds:.1f}s)")
+    return True
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the process exit status."""
+    files = example_files(argv[1:])
+    if not files:
+        print("error: no examples matched", file=sys.stderr)
+        return 2
+    failures = [path for path in files if not run_example(path)]
+    if failures:
+        print(
+            f"{len(failures)}/{len(files)} example(s) failed: "
+            + ", ".join(f.name for f in failures),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"examples OK: {len(files)} script(s) ran clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
