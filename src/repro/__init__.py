@@ -16,8 +16,11 @@ exactly), minimal-explanation extraction via cardinality constraints
 (:mod:`repro.core.minimal`), Souffle-style single-witness provenance and
 tabled top-down evaluation (:mod:`repro.baselines`), CNF preprocessing
 (:mod:`repro.sat.preprocessing`), DOT rendering of every proof object
-(:mod:`repro.provenance.render`) and TSV fact I/O
-(:mod:`repro.datalog.io`).
+(:mod:`repro.provenance.render`), TSV fact I/O
+(:mod:`repro.datalog.io`), seeded synthetic workload families at
+arbitrary scale (:mod:`repro.scenarios.synthetic`) and the cross-stack
+differential oracle behind ``python -m repro fuzz``
+(:mod:`repro.testing.oracle`).
 """
 
 from .baselines import (
@@ -82,7 +85,7 @@ from .provenance import (
 )
 from .sat import CDCLSolver, CNF, solve_cnf
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Atom",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands expose the library to shell users::
+Eleven subcommands expose the library to shell users::
 
     python -m repro eval     program.dl data.dl --answer tc
     python -m repro why      program.dl data.dl --answer tc --tuple a,b
@@ -15,6 +15,7 @@ Ten subcommands expose the library to shell users::
     python -m repro explain  program.dl data.dl --answer tc --tuple a,b
     python -m repro serve    --port 7463            (or --stdio)
     python -m repro client   --connect localhost:7463 requests.ndjson
+    python -m repro fuzz     --seeds 0:50 --family all --json report.json
 
 ``batch`` is the session-backed mode: one
 :class:`~repro.core.session.ProvenanceSession` evaluates ``(D, Sigma)``
@@ -28,6 +29,14 @@ lines (``+e(a, b).`` / ``-e(a, b).``) read from stdin are applied through
 incremental view maintenance (:meth:`ProvenanceSession.update`) on each
 blank line, and the batch is re-served — the evaluation is patched, never
 redone.
+
+``fuzz`` is the cross-stack differential oracle: seeded synthetic
+workload instances (:mod:`repro.scenarios.synthetic`) are run through
+every execution path — cold and warm sessions, the forked batch pool,
+incremental maintenance, the service daemon over TCP — and the answers,
+witnesses, and witness order must match byte for byte
+(:mod:`repro.testing.oracle`); a divergence is shrunk to a minimal
+failing ``(program, database, deltas)`` repro.
 
 ``serve`` runs the provenance service daemon — live sessions keyed by a
 ``(program, database)`` content digest behind the newline-delimited JSON
@@ -363,6 +372,181 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seed_range(text: str) -> List[int]:
+    """Parse ``--seeds``: ``"A:B"`` is the half-open range, ``"N"`` is ``[N]``."""
+    if ":" in text:
+        lo_text, _, hi_text = text.partition(":")
+        try:
+            lo, hi = int(lo_text), int(hi_text)
+        except ValueError:
+            raise SystemExit(f"bad --seeds {text!r}; expected N or LO:HI")
+        if hi <= lo:
+            raise SystemExit(f"bad --seeds {text!r}; need LO < HI")
+        return list(range(lo, hi))
+    try:
+        return [int(text)]
+    except ValueError:
+        raise SystemExit(f"bad --seeds {text!r}; expected N or LO:HI")
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import time
+
+    from .scenarios.synthetic import FAMILIES, generate_instance
+    from .testing.oracle import OracleConfig, run_oracle, shrink
+
+    if args.smoke:
+        # CI preset: a small fresh seed band inside a fixed wall budget.
+        # Explicit flags still win — --smoke only fills what was not given.
+        if args.seeds is None:
+            args.seeds = "0:4"
+        if args.size is None:
+            args.size = 12
+        if args.deltas is None:
+            args.deltas = 1
+        if args.time_budget is None:
+            args.time_budget = 55.0
+    seeds = _parse_seed_range(args.seeds if args.seeds is not None else "0:8")
+    size = args.size if args.size is not None else 16
+    delta_rounds = args.deltas if args.deltas is not None else 2
+    if args.family == "all":
+        families = list(FAMILIES)
+    elif args.family in FAMILIES:
+        families = [args.family]
+    else:
+        raise SystemExit(
+            f"unknown --family {args.family!r}; known: all, {', '.join(FAMILIES)}"
+        )
+    paths = tuple(part.strip() for part in args.paths.split(",") if part.strip())
+    try:
+        config = OracleConfig(
+            paths=paths,
+            limit=args.limit,
+            tuples_per_state=args.tuples,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    started = time.monotonic()
+    deadline = None if args.time_budget is None else started + args.time_budget
+    runs: List[dict] = []
+    failures = 0
+    budget_exhausted = False
+    for family in families:
+        for seed in seeds:
+            if deadline is not None and time.monotonic() >= deadline:
+                budget_exhausted = True
+                break
+            record = {"family": family, "seed": seed, "size": size}
+            try:
+                instance = generate_instance(
+                    family, size=size, seed=seed, delta_rounds=delta_rounds
+                )
+                report = run_oracle(instance, config)
+            except Exception as exc:  # an oracle crash is a finding, not an abort
+                failures += 1
+                record.update(
+                    {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                )
+                runs.append(record)
+                print(f"{family} seed {seed}: CRASHED ({exc})", file=sys.stderr)
+                continue
+            record.update(
+                {
+                    "ok": report.ok,
+                    "states": report.states,
+                    "seconds": round(report.seconds, 3),
+                }
+            )
+            if report.ok:
+                if args.verbose:
+                    print(f"{family} seed {seed}: ok ({report.seconds:.2f}s)")
+            else:
+                failures += 1
+                print(f"{family} seed {seed}: {report.summary()}", file=sys.stderr)
+                record["divergences"] = [
+                    {
+                        "state": d.state,
+                        "paths": [d.path_a, d.path_b],
+                        "a": d.text_a,
+                        "b": d.text_b,
+                    }
+                    for d in report.divergences
+                ]
+                repro_command = (
+                    f"python -m repro fuzz --family {family} "
+                    f"--seeds {seed} --size {size} --deltas {delta_rounds} "
+                    f"--paths {','.join(config.paths)} --limit {config.limit} "
+                    f"--tuples {config.tuples_per_state} "
+                    f"--workers {config.workers}"
+                )
+                record["repro"] = repro_command
+                if not args.no_shrink:
+                    shrunk = shrink(instance, config)
+                    print(f"  {shrunk.describe()}", file=sys.stderr)
+                    minimal = shrunk.instance
+                    record["shrunk"] = {
+                        "summary": shrunk.describe(),
+                        "program": minimal.program_text(),
+                        "database": minimal.database_text(),
+                        "deltas": minimal.delta_lines(),
+                        "answer": minimal.query.answer_predicate,
+                    }
+                    print("  minimal program:", file=sys.stderr)
+                    for line in minimal.program_text().splitlines():
+                        print(f"    {line}", file=sys.stderr)
+                    print(
+                        f"  minimal database ({len(minimal.database)} facts): "
+                        f"{minimal.database_text()}",
+                        file=sys.stderr,
+                    )
+                    for index, lines in enumerate(minimal.delta_lines()):
+                        print(f"  delta {index}: {' '.join(lines)}", file=sys.stderr)
+            runs.append(record)
+        if budget_exhausted:
+            break
+
+    elapsed = time.monotonic() - started
+    completed = len(runs)
+    planned = len(families) * len(seeds)
+    summary = (
+        f"% fuzz: {completed}/{planned} run(s), {failures} failure(s), "
+        f"{elapsed:.1f}s"
+        + (" (time budget exhausted)" if budget_exhausted else "")
+    )
+    print(summary, file=sys.stderr)
+    if args.json is not None:
+        payload = {
+            "fuzz": {
+                "families": families,
+                "seeds": seeds,
+                "size": size,
+                "delta_rounds": delta_rounds,
+                "paths": list(config.paths),
+                "limit": config.limit,
+                "tuples_per_state": config.tuples_per_state,
+                "workers": config.workers,
+                "time_budget": args.time_budget,
+            },
+            "completed": completed,
+            "planned": planned,
+            "failures": failures,
+            "budget_exhausted": budget_exhausted,
+            "elapsed_seconds": round(elapsed, 3),
+            "ok": failures == 0,
+            "runs": runs,
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text)
+            print(f"% fuzz report written to {args.json}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.registry import SessionRegistry
     from .service.server import ProvenanceService, TCPServiceServer, serve_stdio
@@ -376,6 +560,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         threads=args.threads,
         batch_workers=args.workers,
         parallel_threshold=args.parallel_threshold,
+        max_batch_tuples=args.max_batch,
     )
     if args.stdio:
         try:
@@ -547,9 +732,87 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_explain)
     p_explain.set_defaults(func=_cmd_explain)
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the stack over synthetic workload families",
+        description="Generate seeded synthetic (program, database, delta) "
+        "instances and run each through every execution path — cold/warm "
+        "sessions, the forked batch pool, incremental maintenance, and the "
+        "service daemon over TCP — asserting byte-identical answers, "
+        "witnesses, and witness order. On divergence the instance is "
+        "shrunk to a minimal failing repro. See docs/TESTING.md.",
+    )
+    p_fuzz.add_argument(
+        "--seeds",
+        default=None,
+        help="seed band LO:HI (half-open) or one seed N (default: 0:8)",
+    )
+    p_fuzz.add_argument(
+        "--family",
+        default="all",
+        help="workload family (chain, grid, tree, widejoin, dag, mixed) "
+        "or 'all' (default)",
+    )
+    p_fuzz.add_argument(
+        "--size", type=int, default=None, help="family size parameter (default: 16)"
+    )
+    p_fuzz.add_argument(
+        "--deltas",
+        type=int,
+        default=None,
+        help="update rounds replayed per instance (default: 2)",
+    )
+    p_fuzz.add_argument(
+        "--paths",
+        default="cold,warm,parallel,incremental,service",
+        help="comma-separated execution paths to diff (first is the reference)",
+    )
+    p_fuzz.add_argument(
+        "--limit", type=int, default=4, help="witnesses per tuple (default: 4)"
+    )
+    p_fuzz.add_argument(
+        "--tuples",
+        type=int,
+        default=3,
+        help="answer tuples sampled per database state (default: 3)",
+    )
+    p_fuzz.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the parallel path (default: 2)",
+    )
+    p_fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="wall-clock seconds; remaining seeds are skipped once spent",
+    )
+    p_fuzz.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write a machine-readable report ('-' for stdout)",
+    )
+    p_fuzz.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: small instances, seeds 0:4, 1 delta, 55s budget "
+        "(explicit flags override)",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report divergences without minimizing the failing instance",
+    )
+    p_fuzz.add_argument(
+        "--verbose", action="store_true", help="print every passing run too"
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+
     from .core.parallel import PARALLEL_BATCH_THRESHOLD
     from .service.registry import DEFAULT_MAX_BYTES, DEFAULT_MAX_SESSIONS
-    from .service.server import DEFAULT_DISPATCH_THREADS
+    from .service.server import DEFAULT_DISPATCH_THREADS, DEFAULT_MAX_BATCH_TUPLES
 
     p_serve = sub.add_parser(
         "serve",
@@ -601,6 +864,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=PARALLEL_BATCH_THRESHOLD,
         help="batch size at which --workers kicks in "
         f"(default: {PARALLEL_BATCH_THRESHOLD})",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=DEFAULT_MAX_BATCH_TUPLES,
+        help="max tuples per batch request, larger ones are rejected "
+        f"(default: {DEFAULT_MAX_BATCH_TUPLES})",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -215,6 +215,19 @@ def parse_delta_line(line: str) -> Optional[Tuple[str, List[Atom]]]:
     return sign, facts
 
 
+def delta_to_lines(delta: Delta) -> List[str]:
+    """Render a delta as the textual lines :func:`parse_delta_line` reads.
+
+    Insertions first, then deletions, each sorted — so equal deltas yield
+    equal line lists (the determinism the synthetic-instance texts and
+    the service-path byte comparisons rely on). The exact inverse of
+    :func:`delta_from_lines`: ``delta_from_lines(delta_to_lines(d)) == d``.
+    """
+    lines = [f"+{fact}." for fact in sorted(delta.inserted, key=str)]
+    lines += [f"-{fact}." for fact in sorted(delta.deleted, key=str)]
+    return lines
+
+
 def delta_from_lines(lines: Sequence[str]) -> Delta:
     """Build one :class:`~repro.datalog.database.Delta` from delta lines.
 

@@ -263,7 +263,7 @@ def _run_database_via_service(
     flags; ``tests/test_service_roundtrip.py`` asserts it), which is what
     makes the daemon a drop-in serving tier for the experiments.
     """
-    from ..datalog.io import database_to_text, program_to_text
+    from ..datalog.io import database_to_text, delta_to_lines, program_to_text
 
     opened = client.open(
         program_to_text(query.program),
@@ -322,9 +322,7 @@ def _run_database_via_service(
         tuple_runs=runs,
     )
     for index, delta in enumerate(deltas or ()):
-        lines = [f"+{fact}." for fact in sorted(delta.inserted, key=str)]
-        lines += [f"-{fact}." for fact in sorted(delta.deleted, key=str)]
-        receipt = client.update(digest, lines=lines)
+        receipt = client.update(digest, lines=delta_to_lines(delta))
         expected_version = receipt["version"]
         label = f"{database_name}+u{index + 1}"
         update_runs = serve(label)

@@ -11,6 +11,16 @@ from .base import (
 from .csda import csda_database, csda_query
 from .doctors import doctors_database, doctors_query
 from .galen import galen_like_database, galen_query
+# NOTE: the convenience function ``synthetic.synthetic`` is deliberately
+# NOT re-exported here — binding that name in the package namespace would
+# shadow the ``repro.scenarios.synthetic`` submodule attribute, breaking
+# ``import repro.scenarios.synthetic as syn`` consumers. Import it as
+# ``from repro.scenarios.synthetic import synthetic``.
+from .synthetic import (
+    FAMILIES,
+    SyntheticInstance,
+    generate_instance,
+)
 from .transclosure import (
     bitcoin_like_database,
     facebook_like_database,
@@ -18,8 +28,10 @@ from .transclosure import (
 )
 
 __all__ = [
+    "FAMILIES",
     "Scenario",
     "ScenarioDatabase",
+    "SyntheticInstance",
     "all_scenarios",
     "andersen_database",
     "andersen_query",
@@ -31,6 +43,7 @@ __all__ = [
     "facebook_like_database",
     "galen_like_database",
     "galen_query",
+    "generate_instance",
     "get_scenario",
     "register_scenario",
     "transclosure_query",

@@ -71,13 +71,27 @@ def register_scenario(scenario: Scenario) -> Scenario:
 
 
 def get_scenario(name: str) -> Scenario:
-    """Look up a registered scenario by name."""
+    """Look up a registered scenario by name.
+
+    Names of the shape ``synthetic-<family>-n<size>-s<seed>`` are not in
+    the registry at all — they are generated on the fly by the synthetic
+    workload families (:mod:`repro.scenarios.synthetic`), so benchmarks
+    and tools can address an unbounded scenario space by name alone.
+    """
     _ensure_loaded()
     try:
         return _REGISTRY[name]
     except KeyError:
+        from .synthetic import scenario_from_name
+
+        scenario = scenario_from_name(name)
+        if scenario is not None:
+            return scenario
         known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {known} "
+            "(or synthetic-<family>-n<size>-s<seed>)"
+        ) from None
 
 
 def all_scenarios() -> List[Scenario]:

@@ -1,0 +1,402 @@
+"""Seed-driven synthetic workload families (the ``repro fuzz`` substrate).
+
+The five hand-written scenarios of Table 1 pin the paper's evaluation to a
+handful of fixed programs. This module opens the scenario space: each
+*family* is a deterministic, parameterized generator of ``(program,
+database)`` pairs — same ``(family, size, seed)`` always yields textually
+identical Datalog — so workloads exist at arbitrary scale and the test
+suite gains an adversarial input source the fixed scenarios can't provide.
+
+Families
+--------
+
+``chain``
+    Chain reachability: the 2-rule linear transitive closure over a long
+    path with seeded shortcut and back edges (cycles included).
+``grid``
+    Grid reachability: the same linear recursion over a ``w x h`` lattice
+    with rightward/downward edges plus seeded diagonal skips — many
+    distinct derivations per reachable pair.
+``tree``
+    Tree-shaped recursion with tunable depth: ancestor queries over a
+    seeded ``b``-ary tree (branching drawn per seed, so depth varies from
+    path-like to bushy) with a few rewired edges.
+``widejoin``
+    Wide-join rules with tunable fan-in: a non-recursive join chain of
+    ``k`` body atoms (``k`` drawn per seed) composed once more, over
+    seeded binary relations on a small constant domain.
+``dag``
+    Layered DAG derivations: a non-recursive cascade of ``L`` unary
+    layer predicates, each derived from the previous through a shared
+    edge relation with seeded fan-in — one fact, many derivations.
+``mixed``
+    Mixed-family composition: a chain copy and a tree copy glued by
+    seeded bridge facts and a cross-family join rule, plus union rules —
+    recursion through a join of two independently generated families.
+
+Every generator returns a standard
+:class:`~repro.scenarios.base.Scenario`, so synthetic workloads plug into
+the existing harness (:func:`~repro.harness.runner.run_database`), CLI
+and benchmarks unchanged; :func:`scenario_from_name` additionally lets
+``get_scenario("synthetic-chain-n24-s3")`` build one on the fly.
+
+:func:`generate_instance` is the richer entry point used by the
+differential oracle (:mod:`repro.testing.oracle`): it also derives a
+seeded *delta sequence* (EDB insertions and deletions) so one instance
+exercises the incremental-maintenance and service-update paths.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import re
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database, Delta
+from ..datalog.io import database_to_text, delta_to_lines, program_to_text
+from ..datalog.parser import parse_program
+from ..datalog.program import DatalogQuery
+from .base import Scenario, ScenarioDatabase
+
+#: Default family size (facts scale roughly linearly with it).
+DEFAULT_SIZE = 16
+
+#: Scenario-name shape accepted by :func:`scenario_from_name`.
+_NAME_PATTERN = re.compile(r"^synthetic-([a-z]+)-n(\d+)-s(\d+)$")
+
+
+def _rng(family: str, size: int, seed: int, stream: str = "base") -> random.Random:
+    """The deterministic generator stream for one ``(family, size, seed)``.
+
+    Seeded with a string, which :mod:`random` hashes with SHA-512 — stable
+    across processes and interpreter hash randomization, the property the
+    "same seed, same text" contract rests on.
+    """
+    return random.Random(f"synthetic:{family}:n{size}:s{seed}:{stream}")
+
+
+# -- family generators --------------------------------------------------------
+#
+# Each generator maps (size, rng) to (program_text, facts, answer_predicate).
+# Only string constants are used: answer tuples must sort (the session,
+# harness and service all sort answers for determinism), and mixed
+# int/str tuples would not.
+
+
+def _chain_family(size: int, rng: random.Random) -> Tuple[str, List[Atom], str]:
+    program = """
+    c_tc(X, Y) :- c_e(X, Y).
+    c_tc(X, Z) :- c_tc(X, Y), c_e(Y, Z).
+    """
+    nodes = [f"n{i}" for i in range(size + 1)]
+    facts = [Atom("c_e", (nodes[i], nodes[i + 1])) for i in range(size)]
+    for _ in range(max(1, size // 3)):
+        i = rng.randrange(size)
+        j = rng.randrange(i + 1, size + 1)
+        facts.append(Atom("c_e", (nodes[i], nodes[j])))
+    if rng.random() < 0.5 and size >= 2:
+        # One back edge makes the closure cyclic for about half the seeds.
+        j = rng.randrange(1, size + 1)
+        facts.append(Atom("c_e", (nodes[j], nodes[rng.randrange(j)])))
+    return program, facts, "c_tc"
+
+
+def _grid_family(size: int, rng: random.Random) -> Tuple[str, List[Atom], str]:
+    program = """
+    g_reach(X, Y) :- g_e(X, Y).
+    g_reach(X, Z) :- g_reach(X, Y), g_e(Y, Z).
+    """
+    width = max(2, math.isqrt(size))
+    height = max(2, -(-size // width))
+    facts = []
+    for i in range(height):
+        for j in range(width):
+            here = f"g{i}_{j}"
+            if j + 1 < width:
+                facts.append(Atom("g_e", (here, f"g{i}_{j + 1}")))
+            if i + 1 < height:
+                facts.append(Atom("g_e", (here, f"g{i + 1}_{j}")))
+    for _ in range(max(1, size // 4)):
+        i = rng.randrange(height - 1)
+        j = rng.randrange(width - 1)
+        facts.append(Atom("g_e", (f"g{i}_{j}", f"g{i + 1}_{j + 1}")))
+    return program, facts, "g_reach"
+
+
+def _tree_family(size: int, rng: random.Random) -> Tuple[str, List[Atom], str]:
+    program = """
+    t_anc(X, Y) :- t_par(X, Y).
+    t_anc(X, Z) :- t_par(X, Y), t_anc(Y, Z).
+    """
+    branching = rng.choice([1, 2, 2, 3])  # path-like through bushy
+    facts = []
+    for child in range(1, size + 1):
+        parent = (child - 1) // branching
+        if rng.random() < 0.1 and child > 1:
+            parent = rng.randrange(child)  # rewire: still acyclic (parent < child)
+        facts.append(Atom("t_par", (f"t{parent}", f"t{child}")))
+    return program, facts, "t_anc"
+
+
+def _widejoin_family(size: int, rng: random.Random) -> Tuple[str, List[Atom], str]:
+    fan_in = 2 + rng.randrange(3)  # 2..4 body atoms in the join rule
+    variables = [f"X{i}" for i in range(fan_in + 1)]
+    body = ", ".join(
+        f"w_r{i}({variables[i]}, {variables[i + 1]})" for i in range(fan_in)
+    )
+    program = f"""
+    w_j({variables[0]}, {variables[fan_in]}) :- {body}.
+    w_pair(X, Z) :- w_j(X, Y), w_j(Y, Z).
+    """
+    domain = [f"v{i}" for i in range(max(3, size // 2))]
+    facts = []
+    for i in range(fan_in):
+        for _ in range(max(2, size // 2)):
+            a, b = rng.choice(domain), rng.choice(domain)
+            facts.append(Atom(f"w_r{i}", (a, b)))
+    return program, facts, "w_pair"
+
+
+def _dag_family(size: int, rng: random.Random) -> Tuple[str, List[Atom], str]:
+    layers = 2 + min(4, size // 6)
+    width = max(2, size // layers)
+    rules = ["d_l1(Y) :- d_src(X), d_e(X, Y)."]
+    for level in range(2, layers + 1):
+        rules.append(f"d_l{level}(Y) :- d_l{level - 1}(X), d_e(X, Y).")
+    program = "\n".join(rules)
+    facts = []
+    for j in range(width):
+        if j == 0 or rng.random() < 0.7:
+            facts.append(Atom("d_src", (f"d0_{j}",)))
+    for level in range(1, layers + 1):
+        for j in range(width):
+            # A straight-down edge keeps every column derivable end to end
+            # (the scale axis needs non-empty answers); the extra random
+            # fan-in is what gives one fact many distinct derivations.
+            facts.append(Atom("d_e", (f"d{level - 1}_{j}", f"d{level}_{j}")))
+            for _ in range(rng.randrange(2)):
+                facts.append(
+                    Atom("d_e", (f"d{level - 1}_{rng.randrange(width)}", f"d{level}_{j}"))
+                )
+    return program, facts, f"d_l{layers}"
+
+
+def _mixed_family(size: int, rng: random.Random) -> Tuple[str, List[Atom], str]:
+    half = max(4, size // 2)
+    chain_program, chain_facts, _ = _chain_family(half, rng)
+    tree_program, tree_facts, _ = _tree_family(half, rng)
+    program = (
+        chain_program
+        + tree_program
+        + """
+    m_mix(X, Y) :- c_tc(X, Y).
+    m_mix(X, Y) :- t_anc(X, Y).
+    m_mix(X, Z) :- c_tc(X, Y), m_b(Y, W), t_anc(W, Z).
+    """
+    )
+    facts = chain_facts + tree_facts
+    for _ in range(max(2, size // 4)):
+        facts.append(
+            Atom("m_b", (f"n{rng.randrange(half + 1)}", f"t{rng.randrange(half + 1)}"))
+        )
+    return program, facts, "m_mix"
+
+
+#: ``family name -> generator``, in registration order (``fuzz --family all``).
+FAMILIES: Dict[str, Callable[[int, random.Random], Tuple[str, List[Atom], str]]] = {
+    "chain": _chain_family,
+    "grid": _grid_family,
+    "tree": _tree_family,
+    "widejoin": _widejoin_family,
+    "dag": _dag_family,
+    "mixed": _mixed_family,
+}
+
+
+# -- instances ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SyntheticInstance:
+    """One generated workload: query, database, and a delta sequence.
+
+    The full input of one differential-oracle run. Frozen so shrinking
+    (:func:`repro.testing.oracle.shrink`) derives reduced candidates with
+    :func:`dataclasses.replace` instead of mutating a shared instance;
+    the :class:`~repro.datalog.database.Database` inside is treated as
+    immutable — every consumer copies before mutating.
+    """
+
+    family: str
+    size: int
+    seed: int
+    query: DatalogQuery
+    database: Database
+    deltas: Tuple[Delta, ...] = ()
+
+    @property
+    def name(self) -> str:
+        """The canonical scenario name (parsed by :func:`scenario_from_name`)."""
+        return f"synthetic-{self.family}-n{self.size}-s{self.seed}"
+
+    def program_text(self) -> str:
+        """The program in parser syntax (the determinism contract's subject)."""
+        return program_to_text(self.query.program)
+
+    def database_text(self) -> str:
+        """The database in parser syntax, facts sorted."""
+        return database_to_text(self.database)
+
+    def delta_lines(self) -> List[List[str]]:
+        """Each delta as textual ``+fact.`` / ``-fact.`` lines (wire format)."""
+        return [delta_to_lines(delta) for delta in self.deltas]
+
+    def scenario(self) -> Scenario:
+        """This instance as a standard harness/benchmark :class:`Scenario`."""
+        program = self.query.program
+        query_type = (
+            ("linear, " if program.is_linear() else "non-linear, ")
+            + ("recursive" if program.is_recursive() else "non-recursive")
+        )
+        family, size, seed = self.family, self.size, self.seed
+        return Scenario(
+            name=self.name,
+            query_factory=lambda: generate_instance(family, size=size, seed=seed).query,
+            databases=(
+                ScenarioDatabase(
+                    name="gen",
+                    factory=lambda: generate_instance(
+                        family, size=size, seed=seed
+                    ).database.copy(),
+                    description=f"seeded synthetic {family} instance "
+                    f"(size {size}, seed {seed})",
+                ),
+            ),
+            query_type=query_type,
+            num_rules=len(program.rules),
+            description=f"synthetic {family} workload family",
+        )
+
+    def with_deltas(self, deltas: Sequence[Delta]) -> "SyntheticInstance":
+        """A copy of this instance carrying a different delta sequence."""
+        return replace(self, deltas=tuple(deltas))
+
+
+def _generate_deltas(
+    family: str,
+    size: int,
+    seed: int,
+    database: Database,
+    edb: Sequence[str],
+    rounds: int,
+) -> Tuple[Delta, ...]:
+    """A seeded sequence of EDB deltas that stays sensible under replay.
+
+    Each round inserts one or two facts (arguments drawn from the active
+    domain plus occasionally a fresh constant) and deletes one existing
+    fact, tracked against a simulated database copy so deletions always
+    hit live facts and insertions are always new. Deterministic: every
+    draw comes from sorted snapshots of the simulated state.
+    """
+    rng = _rng(family, size, seed, stream="deltas")
+    simulated = database.copy()
+    predicates = sorted(set(edb) & {f.pred for f in database})
+    arity = {f.pred: len(f.args) for f in database}
+    deltas: List[Delta] = []
+    for round_index in range(rounds):
+        domain = sorted(map(str, simulated.active_domain()))
+        live = sorted(simulated, key=str)
+        if not predicates or not domain or not live:
+            break
+        inserted: List[Atom] = []
+        for i in range(1 + rng.randrange(2)):
+            pred = rng.choice(predicates)
+            args = tuple(
+                f"u{round_index}x{i}" if rng.random() < 0.25 else rng.choice(domain)
+                for _ in range(arity[pred])
+            )
+            fact = Atom(pred, args)
+            if fact not in simulated and fact not in inserted:
+                inserted.append(fact)
+        deleted = [rng.choice(live)] if rng.random() < 0.8 else []
+        deleted = [fact for fact in deleted if fact not in inserted]
+        if not inserted and not deleted:
+            # Every round must emit: the sequence is then *prefix-stable*
+            # in ``rounds`` (regenerating with fewer rounds replays the
+            # identical prefix — the determinism property tests assert).
+            deleted = [rng.choice(live)]
+        delta = Delta(inserted=frozenset(inserted), deleted=frozenset(deleted))
+        simulated.apply(delta)
+        deltas.append(delta)
+    return tuple(deltas)
+
+
+def generate_instance(
+    family: str,
+    size: int = DEFAULT_SIZE,
+    seed: int = 0,
+    delta_rounds: int = 0,
+) -> SyntheticInstance:
+    """Build one deterministic instance of a workload family.
+
+    Same ``(family, size, seed, delta_rounds)``, same instance — down to
+    the program text, the database text, and the delta lines (the
+    property ``tests/test_synthetic.py`` asserts). Raises ``KeyError``
+    for an unknown family, ``ValueError`` for a non-positive size.
+    """
+    try:
+        generator = FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise KeyError(f"unknown synthetic family {family!r}; known: {known}") from None
+    if size < 1:
+        raise ValueError(f"size must be positive, got {size}")
+    program_text, facts, answer = generator(size, _rng(family, size, seed))
+    program = parse_program(program_text)
+    query = DatalogQuery(program, answer)
+    database = Database(facts).restrict(program.edb)
+    deltas = (
+        _generate_deltas(family, size, seed, database, sorted(program.edb), delta_rounds)
+        if delta_rounds
+        else ()
+    )
+    return SyntheticInstance(
+        family=family,
+        size=size,
+        seed=seed,
+        query=query,
+        database=database,
+        deltas=deltas,
+    )
+
+
+def synthetic(
+    family: str,
+    size: int = DEFAULT_SIZE,
+    seed: int = 0,
+) -> Scenario:
+    """A workload family instance as a standard :class:`Scenario`.
+
+    The drop-in entry point for the harness and benchmarks::
+
+        run = run_database(synthetic("grid", size=64, seed=3), "gen")
+    """
+    return generate_instance(family, size=size, seed=seed).scenario()
+
+
+def scenario_from_name(name: str):
+    """Parse ``synthetic-<family>-n<size>-s<seed>`` into a Scenario.
+
+    Returns ``None`` when the name is not of that shape (so
+    :func:`~repro.scenarios.base.get_scenario` can fall through to its
+    registry error); raises ``KeyError`` for a well-shaped name with an
+    unknown family.
+    """
+    match = _NAME_PATTERN.match(name)
+    if match is None:
+        return None
+    family, size, seed = match.group(1), int(match.group(2)), int(match.group(3))
+    return synthetic(family, size=size, seed=seed)

@@ -59,6 +59,12 @@ from .registry import SessionEntry, SessionRegistry
 #: Default size of the shared request dispatcher.
 DEFAULT_DISPATCH_THREADS = 8
 
+#: Default cap on tuples in one ``batch`` request. A batch holds the
+#: session lock for its whole run, so an unbounded request is a
+#: denial-of-service on every other client of that session; oversized
+#: batches are rejected with ``bad-request`` and the client splits them.
+DEFAULT_MAX_BATCH_TUPLES = 10_000
+
 
 def _preload_handler_modules() -> None:
     """Import everything the handlers and forked workers load lazily.
@@ -132,6 +138,10 @@ class ProvenanceService:
         every batch serial in-process; ``0`` means one per core).
     parallel_threshold:
         Minimum batch size that fans out across the worker pool.
+    max_batch_tuples:
+        Upper bound on tuples one ``batch`` request may carry (inline or
+        via ``all_answers``); larger requests are rejected with
+        ``bad-request`` before any work is done.
     """
 
     def __init__(
@@ -140,11 +150,13 @@ class ProvenanceService:
         threads: Optional[int] = None,
         batch_workers: int = 1,
         parallel_threshold: int = PARALLEL_BATCH_THRESHOLD,
+        max_batch_tuples: int = DEFAULT_MAX_BATCH_TUPLES,
     ):
         _preload_handler_modules()
         self.registry = registry if registry is not None else SessionRegistry()
         self.batch_workers = batch_workers
         self.parallel_threshold = max(1, parallel_threshold)
+        self.max_batch_tuples = max(1, max_batch_tuples)
         self.started_at = time.time()
         self.requests_served = 0
         self._counter_lock = threading.Lock()
@@ -377,12 +389,24 @@ class ProvenanceService:
             session = entry.session
             if request.get("all_answers"):
                 tuples = session.answers()
+                if len(tuples) > self.max_batch_tuples:
+                    raise ServiceError(
+                        "bad-request",
+                        f"batch of {len(tuples)} tuples exceeds the server cap "
+                        f"of {self.max_batch_tuples}; split the request",
+                    )
             else:
                 raw = request.get("tuples")
                 if not isinstance(raw, (list, tuple)):
                     raise ServiceError(
                         "bad-request",
                         "batch needs 'tuples' (array of arrays) or 'all_answers'",
+                    )
+                if len(raw) > self.max_batch_tuples:
+                    raise ServiceError(
+                        "bad-request",
+                        f"batch of {len(raw)} tuples exceeds the server cap "
+                        f"of {self.max_batch_tuples}; split the request",
                     )
                 tuples = [tuple_from_json(values) for values in raw]
             workers = _optional_number(request, "workers")

@@ -1,0 +1,28 @@
+"""Cross-stack testing infrastructure (the differential oracle).
+
+Every guarantee this library ships — parallel equals serial, maintained
+equals cold, service equals in-process — is an *equivalence between
+execution paths*. This package turns those equivalences into a single
+runnable oracle: :mod:`repro.testing.oracle` drives one generated
+workload through every path and asserts byte-identical observations,
+with shrinking to a minimal failing input on divergence. The ``repro
+fuzz`` CLI subcommand and the property tests are thin drivers over it.
+"""
+
+from .oracle import (
+    ALL_PATHS,
+    Divergence,
+    OracleConfig,
+    OracleReport,
+    run_oracle,
+    shrink,
+)
+
+__all__ = [
+    "ALL_PATHS",
+    "Divergence",
+    "OracleConfig",
+    "OracleReport",
+    "run_oracle",
+    "shrink",
+]

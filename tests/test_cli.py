@@ -513,3 +513,89 @@ class TestClientCommand:
         captured = capsys.readouterr()
         assert code == 1
         assert "request failed" in captured.err
+
+
+class TestFuzz:
+    """The differential-fuzz subcommand (fast configs: in-process paths)."""
+
+    def test_passing_band_exits_zero_and_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = main([
+            "fuzz", "--seeds", "0:2", "--family", "chain", "--size", "8",
+            "--deltas", "1", "--paths", "cold,warm,incremental",
+            "--json", str(report), "--verbose",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "2/2 run(s), 0 failure(s)" in err
+        import json as json_module
+
+        payload = json_module.loads(report.read_text())
+        assert payload["ok"] and payload["completed"] == 2
+        assert [run["ok"] for run in payload["runs"]] == [True, True]
+        assert payload["fuzz"]["paths"] == ["cold", "warm", "incremental"]
+
+    def test_single_seed_spec(self, capsys):
+        code = main([
+            "fuzz", "--seeds", "7", "--family", "tree", "--size", "6",
+            "--deltas", "0", "--paths", "cold,warm",
+        ])
+        assert code == 0
+        assert "1/1 run(s)" in capsys.readouterr().err
+
+    def test_divergence_reports_shrunk_repro(self, monkeypatch, tmp_path, capsys):
+        # Sabotage one path so the CLI's failure handling (report lines,
+        # shrinking, JSON payload, exit status) is exercised end to end.
+        from repro.testing import oracle as oracle_module
+
+        real_cold = oracle_module._PATH_RUNNERS["cold"]
+        monkeypatch.setitem(
+            oracle_module._PATH_RUNNERS, "warm",
+            lambda instance, config: [
+                text + "!" for text in real_cold(instance, config)
+            ],
+        )
+        report = tmp_path / "report.json"
+        code = main([
+            "fuzz", "--seeds", "0:1", "--family", "chain", "--size", "6",
+            "--deltas", "0", "--paths", "cold,warm", "--json", str(report),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "DIVERGED" in err
+        assert "minimal program:" in err
+        import json as json_module
+
+        payload = json_module.loads(report.read_text())
+        (run,) = payload["runs"]
+        assert not run["ok"]
+        assert run["repro"].startswith("python -m repro fuzz --family chain")
+        assert "shrunk" in run and "c_tc" in run["shrunk"]["program"]
+
+    def test_time_budget_skips_remaining_seeds(self, capsys):
+        code = main([
+            "fuzz", "--seeds", "0:50", "--family", "chain", "--size", "6",
+            "--paths", "cold,warm", "--time-budget", "0.0",
+        ])
+        assert code == 0
+        assert "time budget exhausted" in capsys.readouterr().err
+
+    def test_bad_seed_and_family_specs(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--seeds", "5:2"])
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--seeds", "x"])
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--family", "zebra"])
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--paths", "cold,quantum"])
+
+    def test_smoke_preset_fills_defaults(self, capsys):
+        # --smoke with an explicit tiny band: presets fill size/deltas
+        # and the run stays inside the (explicit) budget machinery.
+        code = main([
+            "fuzz", "--smoke", "--seeds", "0:1", "--family", "widejoin",
+            "--paths", "cold,incremental",
+        ])
+        assert code == 0
+        assert "1/1 run(s), 0 failure(s)" in capsys.readouterr().err

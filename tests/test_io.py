@@ -17,6 +17,8 @@ from repro.datalog.io import (
     save_facts_file,
 )
 
+from strategies import instance_databases, instance_deltas, instance_programs
+
 
 @pytest.fixture
 def sample_db():
@@ -212,3 +214,80 @@ class TestDeltaLines:
 
         with pytest.raises(ValueError, match="inserts and deletes"):
             delta_from_lines(["+e(a, b).", "-e(a, b)."])
+
+
+class TestGeneratedRoundTrips:
+    """Property round-trips over the synthetic workload generators.
+
+    Every program, database and delta a workload family can emit must
+    survive the wire: ``parse(program_to_text(p)) == p`` exactly, sorted
+    database text rebuilds the same fact set, and a delta's textual
+    ``+fact.``/``-fact.`` lines rebuild the same delta — the contract the
+    service protocol, ``batch --watch``, and the differential oracle's
+    service path all lean on.
+    """
+
+    common = settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+
+    @given(program=instance_programs())
+    @common
+    def test_generated_program_round_trip(self, program):
+        from repro.datalog.io import program_to_text
+        from repro.datalog.parser import parse_program
+
+        text = program_to_text(program)
+        assert parse_program(text) == program
+        # Rendering is a fixpoint: re-rendering the parse changes nothing.
+        assert program_to_text(parse_program(text)) == text
+
+    @given(database=instance_databases())
+    @common
+    def test_generated_database_round_trip(self, database):
+        from repro.datalog.io import database_to_text
+
+        text = database_to_text(database)
+        assert Database(parse_database(text)) == database
+        assert database_to_text(Database(parse_database(text))) == text
+
+    @given(delta=instance_deltas())
+    @common
+    def test_generated_delta_lines_round_trip(self, delta):
+        from repro.datalog.io import delta_from_lines, delta_to_lines
+
+        assert delta_from_lines(delta_to_lines(delta)) == delta
+        # Rendering is deterministic: equal deltas, equal line lists.
+        assert delta_to_lines(delta) == delta_to_lines(delta)
+
+    @given(delta=instance_deltas())
+    @common
+    def test_parse_delta_line_per_fact(self, delta):
+        from repro.datalog.io import parse_delta_line
+
+        for fact in sorted(delta.facts(), key=str):
+            sign, facts = parse_delta_line(f"+{fact}.")
+            assert sign == "+" and facts == [fact]
+            sign, facts = parse_delta_line(f"-{fact}.")
+            assert sign == "-" and facts == [fact]
+
+    @given(
+        junk=st.text(
+            alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_malformed_delta_lines_never_crash(self, junk):
+        """Arbitrary junk either parses, rejects cleanly, or is blank."""
+        from repro.datalog.io import parse_delta_line
+
+        try:
+            parsed = parse_delta_line(junk)
+        except ValueError:
+            return  # clean rejection is the contract
+        if parsed is None:
+            assert not junk.strip()
+        else:
+            sign, facts = parsed
+            assert sign in "+-"
+            assert all(fact.is_fact() for fact in facts)

@@ -10,7 +10,10 @@ eviction / re-admission round-trips over the wire.
 """
 
 import json
+import socket
+import struct
 import threading
+import time
 
 import pytest
 
@@ -627,3 +630,144 @@ class TestWire:
     def test_shutdown_request_stops_server(self):
         with local_service() as client:
             assert client.shutdown_server()["result"] == {"stopping": True}
+
+
+class TestErrorPaths:
+    """Hostile and unlucky clients: the daemon must answer or shrug, never die.
+
+    Today's wire tests all speak well-formed NDJSON and wait politely for
+    replies; these cover the rest — garbage frames, unknown operations,
+    oversized batch requests against the server cap, and clients that
+    vanish mid-request — asserting both the error envelope and that the
+    daemon keeps serving everyone else afterwards.
+    """
+
+    @staticmethod
+    def _raw_exchange(port: int, payload: bytes) -> dict:
+        """Send raw bytes on a fresh socket, read back one response line."""
+        with socket.create_connection(("127.0.0.1", port), timeout=5) as sock:
+            sock.sendall(payload)
+            reader = sock.makefile("r", encoding="utf-8", newline="\n")
+            line = reader.readline()
+        assert line, "server closed the connection without answering"
+        return json.loads(line)
+
+    def test_malformed_ndjson_frame_gets_parse_error(self):
+        with local_service() as client:
+            port = client.address[1]
+            response = self._raw_exchange(port, b"{this is not json\n")
+            assert not response["ok"]
+            assert response["error"]["code"] == "parse-error"
+            # The registry and dispatcher survived a garbage frame.
+            assert client.ping()["ok"]
+
+    def test_non_object_frame_gets_parse_error(self):
+        with local_service() as client:
+            response = self._raw_exchange(client.address[1], b"[1, 2, 3]\n")
+            assert not response["ok"]
+            assert response["error"]["code"] == "parse-error"
+
+    def test_connection_survives_bad_frame_then_serves(self):
+        # One connection: garbage line, then a valid request. NDJSON
+        # framing is per line, so the stream resynchronizes by itself.
+        with local_service() as client:
+            with socket.create_connection(
+                ("127.0.0.1", client.address[1]), timeout=5
+            ) as sock:
+                reader = sock.makefile("r", encoding="utf-8", newline="\n")
+                sock.sendall(b"%%% garbage %%%\n")
+                first = json.loads(reader.readline())
+                assert first["error"]["code"] == "parse-error"
+                sock.sendall(encode({"id": 1, "op": "ping"}).encode() + b"\n")
+                second = json.loads(reader.readline())
+                assert second["ok"] and second["id"] == 1
+
+    def test_unknown_op_over_the_wire(self):
+        with local_service() as client:
+            response = client.request({"op": "frobnicate"})
+            assert not response["ok"]
+            assert response["error"]["code"] == "unknown-op"
+            assert "known:" in response["error"]["message"]
+
+    def test_missing_op_over_the_wire(self):
+        with local_service() as client:
+            response = client.request({"tuple": ["a", "b"]})
+            assert not response["ok"]
+            assert response["error"]["code"] == "unknown-op"
+
+    def test_oversized_batch_rejected_inline(self):
+        service = ProvenanceService(max_batch_tuples=3)
+        try:
+            digest = service.handle_request(
+                {"op": "open", "program": PROGRAM_TEXT,
+                 "database": DATABASE_TEXT, "answer": "tc"}
+            )["session"]
+            response = service.handle_request(
+                {"op": "batch", "session": digest,
+                 "tuples": [["a", "b"]] * 4}
+            )
+            assert not response["ok"]
+            assert response["error"]["code"] == "bad-request"
+            assert "cap of 3" in response["error"]["message"]
+            # At the cap is still fine.
+            response = service.handle_request(
+                {"op": "batch", "session": digest,
+                 "tuples": [["a", "b"]] * 3}
+            )
+            assert response["ok"]
+        finally:
+            service.close()
+
+    def test_oversized_batch_rejected_all_answers(self):
+        # chain_db(6) yields 21 closure answers; cap the batch below that.
+        service = ProvenanceService(max_batch_tuples=5)
+        try:
+            digest = service.handle_request(
+                {"op": "open", "program": PROGRAM_TEXT,
+                 "database": chain_db(6), "answer": "tc"}
+            )["session"]
+            response = service.handle_request(
+                {"op": "batch", "session": digest, "all_answers": True}
+            )
+            assert not response["ok"]
+            assert response["error"]["code"] == "bad-request"
+            assert "split the request" in response["error"]["message"]
+        finally:
+            service.close()
+
+    def test_disconnect_before_response_leaves_server_alive(self):
+        # The client fires a request and hangs up without reading: the
+        # handler's write hits a dead socket (BrokenPipe/ConnectionReset)
+        # and must swallow it; the next client is served normally.
+        with local_service() as client:
+            port = client.address[1]
+            for _ in range(3):
+                sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+                sock.sendall(
+                    encode({"op": "open", "program": PROGRAM_TEXT,
+                            "database": DATABASE_TEXT, "answer": "tc"}).encode()
+                    + b"\n"
+                )
+                # Hard close (RST rather than FIN) maximizes the chance
+                # the server's write actually fails mid-flight.
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                sock.close()
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if client.ping()["ok"]:
+                    break
+            opened = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")
+            assert opened["ok"] and opened["result"]["answers"] == 3
+
+    def test_disconnect_mid_line_is_ignored(self):
+        # A partial request line (no newline) then EOF: the reader loop
+        # sees an unterminated line at EOF and the connection just ends.
+        with local_service() as client:
+            with socket.create_connection(
+                ("127.0.0.1", client.address[1]), timeout=5
+            ) as sock:
+                sock.sendall(b'{"op": "ping"')  # no newline, then FIN
+            assert client.ping()["ok"]

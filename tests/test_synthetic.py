@@ -1,0 +1,225 @@
+"""Synthetic workload families and the cross-stack differential oracle.
+
+Three layers: the generators (determinism, scenario plumbing, delta
+sanity), the oracle (path agreement over random seeds — the fuzz
+invariant, run in-process here; the TCP path joins in a fixed-instance
+test), and the shrinker (driven by an injected divergence, since the
+real stack currently agrees everywhere).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.session import ProvenanceSession
+from repro.scenarios import get_scenario
+from repro.scenarios.synthetic import (
+    DEFAULT_SIZE,
+    FAMILIES,
+    generate_instance,
+    scenario_from_name,
+    synthetic,
+)
+from repro.testing.oracle import (
+    ALL_PATHS,
+    OracleConfig,
+    run_oracle,
+    shrink,
+)
+
+from strategies import synthetic_instances
+
+#: The oracle evaluates every example through several full pipelines;
+#: generous deadlines and few examples keep the property honest but fast.
+oracle_settings = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+quick_settings = settings(max_examples=40, deadline=None)
+
+
+class TestGeneratorDeterminism:
+    @given(instance=synthetic_instances())
+    @quick_settings
+    def test_same_seed_same_texts(self, instance):
+        again = generate_instance(
+            instance.family,
+            size=instance.size,
+            seed=instance.seed,
+            delta_rounds=len(instance.deltas) or 0,
+        )
+        assert again.program_text() == instance.program_text()
+        assert again.database_text() == instance.database_text()
+
+    @given(instance=synthetic_instances())
+    @quick_settings
+    def test_delta_sequence_is_deterministic(self, instance):
+        again = generate_instance(
+            instance.family,
+            size=instance.size,
+            seed=instance.seed,
+            delta_rounds=len(instance.deltas),
+        )
+        assert again.delta_lines() == instance.delta_lines()
+
+    @given(instance=synthetic_instances())
+    @quick_settings
+    def test_database_is_over_edb_schema(self, instance):
+        edb = instance.query.program.edb
+        assert all(fact.pred in edb for fact in instance.database)
+
+    @given(instance=synthetic_instances())
+    @quick_settings
+    def test_deltas_apply_cleanly_and_stay_on_schema(self, instance):
+        edb = instance.query.program.edb
+        db = instance.database.copy()
+        for delta in instance.deltas:
+            assert all(fact.pred in edb for fact in delta.facts())
+            effective = db.apply(delta)
+            # The generator tracks a simulated copy, so every staged
+            # insertion is genuinely new and every deletion genuinely hits.
+            assert effective.inserted == delta.inserted
+            assert effective.deleted == delta.deleted
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="unknown synthetic family"):
+            generate_instance("nosuch")
+
+    def test_non_positive_size_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            generate_instance("chain", size=0)
+
+    def test_every_family_has_answers_at_default_size(self):
+        for family in FAMILIES:
+            instance = generate_instance(family, size=DEFAULT_SIZE, seed=0)
+            session = ProvenanceSession(instance.query, instance.database.copy())
+            assert session.answers(), f"{family} has no answers at default size"
+
+
+class TestScenarioPlumbing:
+    def test_scenario_builds_and_rebuilds(self):
+        instance = generate_instance("grid", size=12, seed=4)
+        scenario = instance.scenario()
+        assert scenario.name == "synthetic-grid-n12-s4"
+        assert scenario.database("gen") == instance.database
+        assert scenario.query() == instance.query
+
+    def test_get_scenario_resolves_synthetic_names(self):
+        scenario = get_scenario("synthetic-tree-n10-s2")
+        assert scenario.name == "synthetic-tree-n10-s2"
+        assert scenario.database_names() == ["gen"]
+        assert scenario.database("gen") == synthetic("tree", size=10, seed=2).database("gen")
+
+    def test_get_scenario_still_rejects_garbage(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("synthetic-but-not-really")
+
+    def test_scenario_from_name_ignores_foreign_names(self):
+        assert scenario_from_name("TransClosure") is None
+        assert scenario_from_name("synthetic-chain-n5") is None
+
+    def test_scenario_from_name_rejects_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown synthetic family"):
+            scenario_from_name("synthetic-zebra-n5-s1")
+
+
+class TestOracleAgreement:
+    """The fuzz invariant, as properties (in-process paths for speed)."""
+
+    @given(
+        instance=synthetic_instances(
+            size=st.integers(4, 14),
+            seed=st.integers(0, 200),
+        )
+    )
+    @oracle_settings
+    def test_in_process_paths_agree(self, instance):
+        config = OracleConfig(
+            paths=("cold", "warm", "incremental"), limit=3, tuples_per_state=2
+        )
+        report = run_oracle(instance, config)
+        assert report.ok, "\n".join(d.describe() for d in report.divergences)
+
+    def test_all_five_paths_agree_on_fixed_instances(self):
+        for family, seed in (("chain", 9), ("widejoin", 9), ("mixed", 9)):
+            instance = generate_instance(family, size=10, seed=seed, delta_rounds=1)
+            report = run_oracle(
+                instance, OracleConfig(paths=ALL_PATHS, limit=3, tuples_per_state=2)
+            )
+            assert report.ok, report.summary()
+
+    def test_report_shape(self):
+        instance = generate_instance("chain", size=6, seed=0, delta_rounds=2)
+        config = OracleConfig(paths=("cold", "incremental"))
+        report = run_oracle(instance, config)
+        assert report.states == 3  # base + two deltas
+        assert set(report.observations) == {"cold", "incremental"}
+        assert all(len(texts) == 3 for texts in report.observations.values())
+        assert "ok" in report.summary()
+
+    def test_config_rejects_unknown_path(self):
+        with pytest.raises(ValueError, match="unknown oracle paths"):
+            OracleConfig(paths=("cold", "quantum"))
+
+    def test_config_rejects_single_path(self):
+        with pytest.raises(ValueError, match="at least two"):
+            OracleConfig(paths=("cold",))
+
+
+class TestShrinking:
+    """Drive the shrinker with an injected, fact-triggered divergence."""
+
+    @pytest.fixture
+    def lying_warm_path(self, monkeypatch):
+        """Make the 'warm' path lie whenever the marker fact is present."""
+        from repro.datalog.atoms import Atom
+        from repro.testing import oracle as oracle_module
+
+        marker = Atom("c_e", ("n0", "n1"))
+        real_cold = oracle_module._PATH_RUNNERS["cold"]
+
+        def lying(instance, config):
+            texts = real_cold(instance, config)
+            if marker in instance.database:
+                texts = [text + "<LIE>" for text in texts]
+            return texts
+
+        monkeypatch.setitem(oracle_module._PATH_RUNNERS, "warm", lying)
+        return marker
+
+    def test_divergence_detected_and_shrunk(self, lying_warm_path):
+        instance = generate_instance("chain", size=10, seed=0, delta_rounds=2)
+        config = OracleConfig(paths=("cold", "warm"), limit=2, tuples_per_state=2)
+        report = run_oracle(instance, config)
+        assert not report.ok
+        assert report.divergences[0].path_b == "warm"
+        assert report.divergences[0].text_b.endswith("<LIE>")
+
+        result = shrink(instance, config, max_checks=120)
+        minimal = result.instance
+        # The trigger is one fact: a correct shrink keeps it and drops
+        # essentially everything else.
+        assert lying_warm_path in minimal.database
+        assert len(minimal.database) == 1
+        assert not minimal.deltas
+        assert len(minimal.query.program.rules) == 1
+        assert not run_oracle(minimal, config).ok
+        assert result.final_shape <= result.initial_shape
+        assert "shrunk" in result.describe()
+
+    def test_shrink_treats_crash_as_failure(self, monkeypatch):
+        from repro.testing import oracle as oracle_module
+
+        def crashing(instance, config):
+            raise RuntimeError("path blew up")
+
+        monkeypatch.setitem(oracle_module._PATH_RUNNERS, "warm", crashing)
+        instance = generate_instance("chain", size=6, seed=1, delta_rounds=1)
+        config = OracleConfig(paths=("cold", "warm"))
+        result = shrink(instance, config, max_checks=40)
+        # Everything still "fails" (crashes), so the shrinker drives the
+        # instance to its structural floor within budget.
+        assert result.checks <= 40
+        assert len(result.instance.query.program.rules) >= 1
