@@ -20,7 +20,13 @@ Two additions on top of the figure tables:
 * every figure benchmark can dump a machine-readable ``BENCH_<name>.json``
   via :func:`write_bench_json` (directory: ``REPRO_BENCH_JSON_DIR``,
   default ``benchmarks/out``) so future PRs can track build-time trends
-  without scraping stdout.
+  without scraping stdout;
+* ``REPRO_BENCH_ENGINE`` selects the evaluation-engine ablation axis:
+  ``compiled`` or ``interpreted`` pins every engine-bound measurement to
+  one engine, while ``both`` (the default) makes the engine benchmarks
+  emit interpreted-vs-compiled pairs in their envelopes — the raw points
+  of the perf trajectory. Ordinary figure runs use
+  :data:`BENCH_PRIMARY_ENGINE` (compiled, unless pinned).
 """
 
 from __future__ import annotations
@@ -44,8 +50,22 @@ BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 BENCH_JSON_DIR = os.environ.get(
     "REPRO_BENCH_JSON_DIR", os.path.join(os.path.dirname(__file__), "out")
 )
+BENCH_ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "both")
+if BENCH_ENGINE not in ("compiled", "interpreted", "both"):
+    raise ValueError(
+        f"REPRO_BENCH_ENGINE={BENCH_ENGINE!r}: expected compiled, interpreted or both"
+    )
+#: The engine ordinary (non-ablation) measurements run under.
+BENCH_PRIMARY_ENGINE = "compiled" if BENCH_ENGINE == "both" else BENCH_ENGINE
 
-_CACHE: Dict[Tuple[str, str, bool, int], DatabaseRun] = {}
+_CACHE: Dict[Tuple[str, str, bool, int, str], DatabaseRun] = {}
+
+
+def engines_under_test() -> List[str]:
+    """The engines the ablation benchmarks should measure."""
+    if BENCH_ENGINE == "both":
+        return ["compiled", "interpreted"]
+    return [BENCH_ENGINE]
 
 
 def git_commit() -> Optional[str]:
@@ -68,17 +88,20 @@ def cached_run(
     database_name: str,
     use_session: Optional[bool] = None,
     workers: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> DatabaseRun:
     """Run (or reuse) the standard experiment for one scenario database."""
     if use_session is None:
         use_session = BENCH_USE_SESSION
     if workers is None:
         workers = BENCH_WORKERS
+    if engine is None:
+        engine = BENCH_PRIMARY_ENGINE
     if not use_session:
         # The re-matching foil has no parallel mode (run_database rejects
         # the combination); REPRO_BENCH_WORKERS applies to session runs.
         workers = 1
-    key = (scenario_name, database_name, use_session, workers)
+    key = (scenario_name, database_name, use_session, workers, engine)
     if key not in _CACHE:
         scenario = get_scenario(scenario_name)
         _CACHE[key] = run_database(
@@ -90,6 +113,7 @@ def cached_run(
             seed=7,
             use_session=use_session,
             workers=workers,
+            engine=engine,
         )
     return _CACHE[key]
 
@@ -98,11 +122,15 @@ def scenario_runs(
     scenario_name: str,
     use_session: Optional[bool] = None,
     workers: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> List[DatabaseRun]:
     """Run (or reuse) the standard experiment for every scenario database."""
     scenario = get_scenario(scenario_name)
     return [
-        cached_run(scenario_name, name, use_session=use_session, workers=workers)
+        cached_run(
+            scenario_name, name, use_session=use_session, workers=workers,
+            engine=engine,
+        )
         for name in scenario.database_names()
     ]
 
@@ -151,6 +179,8 @@ def write_bench_json(name: str, payload: Dict) -> str:
             "timeout_seconds": BENCH_TIMEOUT,
             "use_session": BENCH_USE_SESSION,
             "workers": BENCH_WORKERS,
+            "engine": BENCH_ENGINE,
+            "primary_engine": BENCH_PRIMARY_ENGINE,
         },
         "data": payload,
     }

@@ -13,6 +13,8 @@ restriction, while the foil re-grounds rule bodies against the full model
 for every tuple.
 """
 
+import time
+
 from repro.core.session import ProvenanceSession
 from repro.datalog.engine import evaluate
 from repro.harness.runner import sample_answer_tuples
@@ -21,6 +23,7 @@ from repro.core.enumerator import WhyProvenanceEnumerator
 from repro.scenarios import get_scenario
 
 from _common import (
+    engines_under_test,
     print_banner,
     run_once,
     run_payload,
@@ -89,6 +92,72 @@ def test_session_vs_rematching_closures(benchmark, capsys):
         )
     # "No slower" with generous slack for timer noise on tiny closures.
     assert session_closure <= foil_closure * 1.25
+
+
+def test_compiled_vs_interpreted_evaluation(benchmark, capsys):
+    """Engine ablation on the Figure 1 build input: Andersen evaluation.
+
+    Times the instrumented evaluation (``record_instances=True`` — the
+    session's cold-admission cost) per engine over every Andersen
+    database. With ``REPRO_BENCH_ENGINE=both`` (default) this emits the
+    interpreted-vs-compiled pair; a pinned engine measures just one side.
+    """
+    scenario = get_scenario("Andersen")
+    query = scenario.query()
+    engines = engines_under_test()
+
+    def measure():
+        rows = []
+        for name in scenario.database_names():
+            database = scenario.database(name).restrict(query.program.edb)
+            row = {"database": name, "facts": len(database), "seconds": {}}
+            for engine in engines:
+                started = time.perf_counter()
+                result = evaluate(
+                    query.program, database, record_instances=True, engine=engine
+                )
+                row["seconds"][engine] = time.perf_counter() - started
+                row["model_facts"] = len(result.model)
+                row["instances"] = len(result.instances)
+            if len(row["seconds"]) == 2:
+                row["speedup"] = (
+                    row["seconds"]["interpreted"] / row["seconds"]["compiled"]
+                    if row["seconds"]["compiled"]
+                    else 0.0
+                )
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, measure)
+    with capsys.disabled():
+        print_banner("Evaluation engine ablation (Andersen, record_instances=True)")
+        header = f"{'db':>4} {'facts':>7}"
+        for engine in engines:
+            header += f" {engine + ' (s)':>16}"
+        if len(engines) == 2:
+            header += f" {'speedup':>8}"
+        print(header)
+        for row in rows:
+            line = f"{row['database']:>4} {row['facts']:>7}"
+            for engine in engines:
+                line += f" {row['seconds'][engine]:>16.3f}"
+            if "speedup" in row:
+                line += f" {row['speedup']:>7.2f}x"
+            print(line)
+        path = write_bench_json(
+            "figure1_engine_ablation", {"engines": engines, "rows": rows}
+        )
+        print(f"machine-readable record: {path}")
+    if len(engines) == 2:
+        # The compiled engine must not lose overall; the headline >= 2x
+        # margin is tracked through the emitted JSON, while the in-test
+        # bar stays noise-proof.
+        total_compiled = sum(r["seconds"]["compiled"] for r in rows)
+        total_interpreted = sum(r["seconds"]["interpreted"] for r in rows)
+        assert total_compiled <= total_interpreted, (
+            f"compiled evaluation ({total_compiled:.3f}s) slower than "
+            f"interpreted ({total_interpreted:.3f}s) on the Andersen build"
+        )
 
 
 def _build_once(query, database, tup, evaluation):

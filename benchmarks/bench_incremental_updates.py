@@ -42,6 +42,7 @@ from _common import (
     BENCH_MEMBERS,
     BENCH_TIMEOUT,
     BENCH_TUPLES,
+    engines_under_test,
     print_banner,
     run_once,
     write_bench_json,
@@ -90,7 +91,7 @@ def _serve(session: ProvenanceSession, tuples) -> list:
             for tup in tuples]
 
 
-def _measure_scenario(scenario_name: str, database_name: str) -> dict:
+def _measure_scenario(scenario_name: str, database_name: str, engine: str) -> dict:
     scenario = get_scenario(scenario_name)
     query = scenario.query()
     database = scenario.database(database_name).restrict(query.program.edb)
@@ -99,12 +100,14 @@ def _measure_scenario(scenario_name: str, database_name: str) -> dict:
         # A fresh warm session per delta size: the incremental path must
         # not inherit invalidations from a previous round's delta.
         live_db = database.copy()
-        session = ProvenanceSession(query, live_db)
+        session = ProvenanceSession(query, live_db, engine=engine)
         tuples = sample_answer_tuples(
             query, live_db, count=BENCH_TUPLES, seed=7,
             evaluation=session.evaluation,
         )
         _warm(session, tuples)  # warm closures/encodings
+        plans_before = session.stats.plans_compiled
+        reuses_before = session.stats.plan_reuses
         delta = _random_delta(live_db, random.Random(1000 + size), size)
 
         started = time.perf_counter()
@@ -112,11 +115,21 @@ def _measure_scenario(scenario_name: str, database_name: str) -> dict:
         _warm(session, tuples)
         incremental_seconds = time.perf_counter() - started
 
+        if engine == "compiled":
+            # Plan-cache contract: the initial evaluation compiled the
+            # plans, and the maintenance rounds reuse them (any newly
+            # compiled ones are EDB-pivot plans evaluation never needed).
+            assert plans_before > 0, "compiled session reported no plans"
+            if receipt.effective.inserted:
+                assert session.stats.plan_reuses > reuses_before, (
+                    "maintenance insertion rounds did not reuse cached plans"
+                )
+
         # Full re-evaluation baseline over an identically-updated copy.
         cold_db = database.copy()
         started = time.perf_counter()
         cold_db.apply(delta)
-        cold = ProvenanceSession(query, cold_db)
+        cold = ProvenanceSession(query, cold_db, engine=engine)
         cold.evaluation
         cold.gri()
         _warm(cold, tuples)
@@ -146,12 +159,15 @@ def _measure_scenario(scenario_name: str, database_name: str) -> dict:
                 "speedup": (full_seconds / incremental_seconds)
                 if incremental_seconds
                 else 0.0,
+                "plans_compiled": session.stats.plans_compiled,
+                "plan_reuses": session.stats.plan_reuses,
                 "identical": True,
             }
         )
     return {
         "scenario": scenario_name,
         "database": database_name,
+        "engine": engine,
         "fact_count": len(database),
         "tuples": BENCH_TUPLES,
         "rows": rows,
@@ -159,7 +175,11 @@ def _measure_scenario(scenario_name: str, database_name: str) -> dict:
 
 
 def _run_all():
-    return [_measure_scenario(name, db) for name, db in TARGETS]
+    return [
+        _measure_scenario(name, db, engine)
+        for engine in engines_under_test()
+        for name, db in TARGETS
+    ]
 
 
 def test_incremental_updates(benchmark, capsys):
@@ -169,7 +189,8 @@ def test_incremental_updates(benchmark, capsys):
         for curve in curves:
             print_banner(
                 f"Incremental updates ({curve['scenario']}/{curve['database']}, "
-                f"{curve['fact_count']} facts, {curve['tuples']} tuples)"
+                f"{curve['fact_count']} facts, {curve['tuples']} tuples, "
+                f"{curve['engine']} engine)"
             )
             print(
                 f"{'delta':>6} {'changed':>8} {'inval':>6} {'kept':>5} "

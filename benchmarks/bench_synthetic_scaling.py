@@ -22,12 +22,15 @@ import os
 import time
 
 from repro.core.session import ProvenanceSession
+from repro.datalog.engine import evaluate
 from repro.scenarios.synthetic import FAMILIES, generate_instance
 
 from _common import (
     BENCH_MEMBERS,
+    BENCH_PRIMARY_ENGINE,
     BENCH_TIMEOUT,
     BENCH_TUPLES,
+    engines_under_test,
     print_banner,
     run_once,
     write_bench_json,
@@ -61,10 +64,24 @@ def _run_curves():
             # experiment, on a private session, so the build/delay
             # numbers below stay comparable with the paper-figure
             # benchmarks (which amortize evaluation the same way).
-            session = ProvenanceSession(instance.query, instance.database.copy())
+            session = ProvenanceSession(
+                instance.query, instance.database.copy(),
+                engine=BENCH_PRIMARY_ENGINE,
+            )
             started = time.perf_counter()
             session.evaluation
             evaluation_seconds = time.perf_counter() - started
+            # Engine ablation at this rung: the same instrumented
+            # evaluation per engine under test (fresh plan caches, so
+            # compiled numbers include compilation).
+            seconds_by_engine = {}
+            for engine in engines_under_test():
+                started = time.perf_counter()
+                evaluate(
+                    instance.query.program, instance.database,
+                    record_instances=True, engine=engine,
+                )
+                seconds_by_engine[engine] = time.perf_counter() - started
             run = run_database(
                 scenario,
                 "gen",
@@ -81,6 +98,14 @@ def _run_curves():
                     "model_facts": len(session.model),
                     "answers": len(session.answers()),
                     "evaluation_seconds": evaluation_seconds,
+                    "evaluation_seconds_by_engine": seconds_by_engine,
+                    "engine_speedup": (
+                        seconds_by_engine["interpreted"]
+                        / seconds_by_engine["compiled"]
+                        if len(seconds_by_engine) == 2
+                        and seconds_by_engine["compiled"]
+                        else None
+                    ),
                     "build_seconds": run.build_times(),
                     "mean_delay": (sum(delays) / len(delays)) if delays else None,
                     "members": sum(r.members for r in run.tuple_runs),
@@ -94,7 +119,7 @@ def _print_curves(curves) -> None:
     print_banner("Synthetic workload scaling (build / delay vs family size)")
     header = (
         f"{'family':>9} {'size':>5} {'facts':>6} {'model':>6} {'answers':>7} "
-        f"{'eval(s)':>8} {'build(s)':>9} {'delay(ms)':>10}"
+        f"{'eval(s)':>8} {'build(s)':>9} {'delay(ms)':>10} {'eng-spd':>8}"
     )
     print(header)
     for family, rows in curves.items():
@@ -102,11 +127,13 @@ def _print_curves(curves) -> None:
             builds = row["build_seconds"]
             mean_build = sum(builds) / len(builds) if builds else 0.0
             delay = row["mean_delay"]
+            speedup = row.get("engine_speedup")
             print(
                 f"{family:>9} {row['size']:>5} {row['fact_count']:>6} "
                 f"{row['model_facts']:>6} {row['answers']:>7} "
                 f"{row['evaluation_seconds']:>8.3f} {mean_build:>9.3f} "
-                f"{(delay * 1000 if delay is not None else float('nan')):>10.2f}"
+                f"{(delay * 1000 if delay is not None else float('nan')):>10.2f} "
+                f"{(f'{speedup:.2f}x' if speedup is not None else '-'):>8}"
             )
 
 

@@ -187,9 +187,15 @@ def update_session(session: "ProvenanceSession", delta: Delta) -> SessionUpdate:
     session.version += 1
     session._snapshot_cache = None
     result: MaintenanceResult = maintain_evaluation(
-        session.query.program, session.database, session._evaluation, effective
+        session.query.program,
+        session.database,
+        session._evaluation,
+        effective,
+        engine=session.engine,
+        plan_context=session.plan_context(),
     )
     session._evaluation = result.evaluation
+    session._sync_plan_stats()
 
     dirty = _dirty_facts(effective, result)
     invalidated, retained = _invalidate_stale_caches(session, dirty)

@@ -48,6 +48,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from ..datalog.atoms import Atom
 from ..datalog.database import Database, check_over_schema
 from ..datalog.engine import EvaluationResult, evaluate
+from ..datalog.plans import PlanContext, resolve_engine
 from ..datalog.program import DatalogQuery, Program
 from ..provenance.grounding import (
     DownwardClosure,
@@ -80,6 +81,12 @@ class SessionStats:
     sat_solver_builds: int = 0
     updates: int = 0
     closure_invalidations: int = 0
+    #: Plan-cache gauges of the compiled engine (zero when interpreted):
+    #: distinct (rule, delta-position) join plans compiled so far, and how
+    #: often a cached plan was reused — across semi-naive rounds and
+    #: across :meth:`ProvenanceSession.update` maintenance rounds.
+    plans_compiled: int = 0
+    plan_reuses: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (for reports and assertions)."""
@@ -93,6 +100,8 @@ class SessionStats:
             "sat_solver_builds": self.sat_solver_builds,
             "updates": self.updates,
             "closure_invalidations": self.closure_invalidations,
+            "plans_compiled": self.plans_compiled,
+            "plan_reuses": self.plan_reuses,
         }
 
 
@@ -114,6 +123,14 @@ class ProvenanceSession:
         as a foil when measuring the instrumented path.
     acyclicity:
         Default acyclicity encoding for CNF compilations.
+    engine:
+        Evaluation engine: ``"compiled"`` (join plans, the default),
+        ``"interpreted"`` (generic matcher oracle), or ``None`` to
+        consult ``REPRO_ENGINE``. Resolved once at construction, so a
+        session's behavior never shifts under it mid-lifetime. The
+        session owns a :class:`~repro.datalog.plans.PlanContext` shared
+        by its initial evaluation and every :meth:`update`, dropped by
+        :meth:`invalidate` along with the other caches.
     """
 
     def __init__(
@@ -123,6 +140,7 @@ class ProvenanceSession:
         method: str = "seminaive",
         record_instances: bool = True,
         acyclicity: str = "vertex-elimination",
+        engine: Optional[str] = None,
     ):
         check_over_schema(database, query.program.edb)
         self.query = query
@@ -130,6 +148,8 @@ class ProvenanceSession:
         self.method = method
         self.record_instances = record_instances
         self.acyclicity = acyclicity
+        self.engine = resolve_engine(engine)
+        self._plan_context: Optional[PlanContext] = None
         self.stats = SessionStats()
         #: Monotonic database-state counter: bumped by every effective
         #: :meth:`update` and every :meth:`invalidate`. Evaluation
@@ -173,8 +193,31 @@ class ProvenanceSession:
                 self.database,
                 method=self.method,
                 record_instances=self.record_instances,
+                engine=self.engine,
+                plan_context=self.plan_context(),
             )
+            self._sync_plan_stats()
         return self._evaluation
+
+    def plan_context(self) -> Optional[PlanContext]:
+        """The session's plan cache (``None`` on the interpreted engine).
+
+        Created lazily on the compiled engine and shared by the initial
+        evaluation and every incremental update, so join plans compile
+        once per (rule, delta-position) for the session's lifetime.
+        """
+        if self.engine != "compiled":
+            return None
+        if self._plan_context is None:
+            self._plan_context = PlanContext()
+        return self._plan_context
+
+    def _sync_plan_stats(self) -> None:
+        """Mirror the plan context's counters into :attr:`stats`."""
+        context = self._plan_context
+        if context is not None:
+            self.stats.plans_compiled = context.compiled
+            self.stats.plan_reuses = context.reuses
 
     @property
     def model(self) -> Database:
@@ -512,6 +555,7 @@ class ProvenanceSession:
         self._snapshot_cache = None
         self._evaluation = None
         self._gri = None
+        self._plan_context = None
         self._closures.clear()
         self._encodings.clear()
         self._decision_solvers.clear()
@@ -529,6 +573,7 @@ class ProvenanceSession:
             method=self.method,
             record_instances=self.record_instances,
             acyclicity=self.acyclicity,
+            engine=self.engine,
         )
 
     def __repr__(self) -> str:

@@ -81,6 +81,99 @@ class Delta:
         return " ".join(part for part in (plus, minus) if part) or "(empty delta)"
 
 
+class IntRelation:
+    """Columnar int-tuple storage for one predicate (compiled join plans).
+
+    The compiled engine (:mod:`repro.datalog.plans`) interns constants to
+    dense ints and evaluates rule bodies over these relations instead of
+    :class:`Atom` sets: a row is a plain tuple of ints, so hashing and
+    equality in the join inner loop never touch Python objects heavier
+    than small tuples.
+
+    Rows live in an insertion-ordered dict (used as an ordered set), and
+    hash indexes are materialized **per binding pattern** on demand: the
+    first probe with bound positions ``(0, 2)`` builds a ``key -> rows``
+    index for that pattern, and every later :meth:`add` / :meth:`discard`
+    maintains all materialized patterns incrementally — so a join plan
+    reused across semi-naive rounds pays the index build once, not once
+    per round.
+    """
+
+    __slots__ = ("rows", "_indexes")
+
+    def __init__(self, rows: Iterable[Tuple[int, ...]] = ()):
+        #: Ordered set of rows (a dict with ``None`` values); iterate it
+        #: directly in join inner loops.
+        self.rows: Dict[Tuple[int, ...], None] = dict.fromkeys(rows)
+        # binding pattern (sorted position tuple) -> {key tuple -> [rows]}
+        self._indexes: Dict[
+            Tuple[int, ...], Dict[Tuple[int, ...], List[Tuple[int, ...]]]
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.rows
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self.rows)
+
+    def add(self, row: Tuple[int, ...]) -> bool:
+        """Insert *row*; maintain every materialized pattern index."""
+        if row in self.rows:
+            return False
+        self.rows[row] = None
+        for positions, index in self._indexes.items():
+            key = tuple(row[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [row]
+            else:
+                bucket.append(row)
+        return True
+
+    def discard(self, row: Tuple[int, ...]) -> bool:
+        """Remove *row* if present; empty index buckets are deleted."""
+        if row not in self.rows:
+            return False
+        del self.rows[row]
+        for positions, index in self._indexes.items():
+            key = tuple(row[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is None:
+                continue
+            bucket.remove(row)
+            if not bucket:
+                del index[key]
+        return True
+
+    def index_for(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[Tuple[int, ...], List[Tuple[int, ...]]]:
+        """The ``key -> rows`` hash index for one binding pattern.
+
+        Built on first request (O(rows)), then kept up to date by
+        :meth:`add` / :meth:`discard` for the lifetime of the relation.
+        """
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self.rows:
+                key = tuple(row[p] for p in positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [row]
+                else:
+                    bucket.append(row)
+            self._indexes[positions] = index
+        return index
+
+    def copy(self) -> "IntRelation":
+        """A copy sharing row tuples but not the pattern indexes."""
+        return IntRelation(self.rows)
+
+
 class Database:
     """A mutable set of facts with secondary indexes.
 
@@ -248,6 +341,26 @@ class Database:
     def count(self, pred: str) -> int:
         """Number of facts of predicate *pred*."""
         return len(self._by_pred.get(pred, ()))
+
+    def position_cardinalities(self, pred: str) -> Tuple[int, ...]:
+        """Distinct-value count per argument position of *pred*.
+
+        These are the bucket-size statistics the join planner
+        (:mod:`repro.datalog.plans`) uses to estimate how many rows an
+        index probe on a given position will return: a relation of ``n``
+        facts whose position ``p`` holds ``c`` distinct values yields
+        ``~n/c`` rows per probe. Returns ``()`` for an unknown or empty
+        predicate.
+        """
+        facts = self._by_pred.get(pred)
+        if not facts:
+            return ()
+        arity = len(next(iter(facts)).args)
+        distinct: List[Set[object]] = [set() for _ in range(arity)]
+        for fact in facts:
+            for pos, value in enumerate(fact.args):
+                distinct[pos].add(value)
+        return tuple(len(values) for values in distinct)
 
     def restrict(self, predicates: Iterable[str]) -> "Database":
         """A new database containing only the given predicates' facts."""

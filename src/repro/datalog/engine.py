@@ -18,6 +18,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .atoms import Atom
 from .database import Database, Delta
+from .plans import (
+    PlanContext,
+    evaluate_seminaive_compiled,
+    resolve_engine,
+    run_insertion_rounds,
+)
 from .program import DatalogQuery, Program
 from .rules import GroundRule, Rule
 from .unify import match_body, match_body_with_delta
@@ -45,6 +51,16 @@ class EvaluationResult:
         instances of :func:`ground_instances` over the final model, but
         captured as a side effect of the fixpoint instead of a second
         matching pass. ``None`` when recording was off.
+    engine:
+        Which engine produced the result: ``"interpreted"`` (the generic
+        backtracking matcher) or ``"compiled"`` (join plans from
+        :mod:`repro.datalog.plans`). Both agree on every other field;
+        the trace may differ in order but never as a set.
+    plans_compiled / plan_reuses:
+        Plan-cache counters of the :class:`~repro.datalog.plans.PlanContext`
+        that served the evaluation (zero on the interpreted path): how
+        many (rule, delta-position) plans were compiled, and how many
+        times a cached plan was reused across rounds / maintenance.
     """
 
     model: Database
@@ -52,6 +68,9 @@ class EvaluationResult:
     rounds: int
     derivations: int = 0
     instances: Optional[Tuple[GroundRule, ...]] = None
+    engine: str = "interpreted"
+    plans_compiled: int = 0
+    plan_reuses: int = 0
 
     def rank(self, fact: Atom) -> int:
         """The stage of *fact*; raises ``KeyError`` if not in the model."""
@@ -79,6 +98,8 @@ def evaluate(
     database: Database,
     method: str = "seminaive",
     record_instances: bool = False,
+    engine: Optional[str] = None,
+    plan_context: Optional[PlanContext] = None,
 ) -> EvaluationResult:
     """Compute the least model of *program* over *database*.
 
@@ -97,8 +118,22 @@ def evaluate(
         (the GRI, downward closures, :class:`~repro.core.session.ProvenanceSession`)
         can then build provenance structures in ``O(|gri|)`` without
         re-matching rule bodies against the whole model.
+    engine:
+        ``"compiled"`` (join plans, the default), ``"interpreted"`` (the
+        generic matcher, kept as differential oracle), or ``None`` to
+        consult the ``REPRO_ENGINE`` environment variable. Only the
+        semi-naive method is compiled; ``method="naive"`` always runs
+        interpreted, being itself an oracle baseline.
+    plan_context:
+        A :class:`~repro.datalog.plans.PlanContext` to draw cached plans
+        from (and populate); sessions pass their own so plans survive
+        across ``update()`` calls. A fresh context is used when omitted.
     """
     if method == "seminaive":
+        if resolve_engine(engine) == "compiled":
+            return evaluate_seminaive_compiled(
+                program, database, record_instances, context=plan_context
+            )
         return _evaluate_seminaive(program, database, record_instances)
     if method == "naive":
         return _evaluate_naive(program, database, record_instances)
@@ -317,6 +352,8 @@ def maintain_evaluation(
     database: Database,
     evaluation: EvaluationResult,
     delta: Delta,
+    engine: Optional[str] = None,
+    plan_context: Optional[PlanContext] = None,
 ) -> MaintenanceResult:
     """Patch a recorded evaluation under a database delta.
 
@@ -337,6 +374,12 @@ def maintain_evaluation(
     the patched trace (:func:`ranks_from_instances`), so the returned
     evaluation is indistinguishable from a cold one: same model, same
     ranks, same rounds, same instance *set*.
+
+    *engine* / *plan_context* select how the insertion rounds match rule
+    bodies, exactly as in :func:`evaluate`; the deletion phase never
+    matches anything and is engine-independent. Passing the session's
+    plan context means a warm update reuses the join plans compiled by
+    the initial evaluation instead of re-planning.
     """
     if evaluation.instances is None:
         raise ValueError(
@@ -419,38 +462,49 @@ def maintain_evaluation(
     # -- insertion phase: delta-semi-naive rounds seeded with the delta ------
     added_facts: Set[Atom] = set()
     added_instances: List[GroundRule] = []
+    resolved_engine = resolve_engine(engine)
     fresh = [fact for fact in delta.inserted if fact not in model]
     if fresh:
         seen: Set[GroundRule] = set(trace)
-        round_delta = Database()
-        for fact in fresh:
-            model.add(fact)
-            added_facts.add(fact)
-            round_delta.add(fact)
-        while len(round_delta):
-            next_delta = Database()
-            for rule in program.rules:
-                for pos in range(len(rule.body)):
-                    if round_delta.count(rule.body[pos].pred) == 0:
-                        continue
-                    for subst in match_body_with_delta(
-                        rule.body, model, round_delta, pos
-                    ):
-                        derivations += 1
-                        head = rule.head.ground(subst)
-                        ground = GroundRule(
-                            rule, head, tuple(a.ground(subst) for a in rule.body)
-                        )
-                        if ground not in seen:
-                            seen.add(ground)
-                            added_instances.append(ground)
-                            trace.append(ground)
-                        if head not in model and head not in next_delta:
-                            next_delta.add(head)
-            for fact in next_delta:
+        if resolved_engine == "compiled":
+            if plan_context is None:
+                plan_context = PlanContext()
+            compiled_added, compiled_instances, fired = run_insertion_rounds(
+                program, model, trace, seen, fresh, plan_context, database
+            )
+            added_facts |= compiled_added
+            added_instances.extend(compiled_instances)
+            derivations += fired
+        else:
+            round_delta = Database()
+            for fact in fresh:
                 model.add(fact)
                 added_facts.add(fact)
-            round_delta = next_delta
+                round_delta.add(fact)
+            while len(round_delta):
+                next_delta = Database()
+                for rule in program.rules:
+                    for pos in range(len(rule.body)):
+                        if round_delta.count(rule.body[pos].pred) == 0:
+                            continue
+                        for subst in match_body_with_delta(
+                            rule.body, model, round_delta, pos
+                        ):
+                            derivations += 1
+                            head = rule.head.ground(subst)
+                            ground = GroundRule(
+                                rule, head, tuple(a.ground(subst) for a in rule.body)
+                            )
+                            if ground not in seen:
+                                seen.add(ground)
+                                added_instances.append(ground)
+                                trace.append(ground)
+                            if head not in model and head not in next_delta:
+                                next_delta.add(head)
+                for fact in next_delta:
+                    model.add(fact)
+                    added_facts.add(fact)
+                round_delta = next_delta
 
     ranks = ranks_from_instances(database, trace)
     patched = EvaluationResult(
@@ -459,6 +513,9 @@ def maintain_evaluation(
         rounds=max(ranks.values(), default=0),
         derivations=derivations,
         instances=tuple(trace),
+        engine=resolved_engine,
+        plans_compiled=plan_context.compiled if plan_context is not None else 0,
+        plan_reuses=plan_context.reuses if plan_context is not None else 0,
     )
     return MaintenanceResult(
         evaluation=patched,

@@ -9,7 +9,7 @@ which every body atom becomes a fact of the store. This realizes the
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .atoms import Atom
 from .database import Database
@@ -85,9 +85,13 @@ def match_body_with_delta(
     that occurrence restricted to the facts newly derived in the previous
     round.
     """
-    # Put the delta atom first — it is usually the most selective.
-    indices = [delta_index] + [i for i in range(len(body)) if i != delta_index]
-    order = [body[i] for i in indices]
+    # The delta atom goes first — it is usually the most selective — and
+    # the remaining atoms are planned with the delta atom's variables
+    # treated as bound, so joins stay index-driven instead of degrading
+    # to the body's raw input order (which cross-products on wide joins).
+    delta_atom = body[delta_index]
+    rest = [atom for i, atom in enumerate(body) if i != delta_index]
+    order = [delta_atom] + plan_order(rest, base, bound_vars=delta_atom.variables())
     yield from _match_ordered(order, database, delta, 0, dict(base) if base else {})
 
 
@@ -165,27 +169,43 @@ def _try_bind(pattern: Atom, fact: Atom, subst: Substitution, added: List[Variab
     return True
 
 
-def plan_order(body: Sequence[Atom], base: Optional[Substitution] = None) -> List[Atom]:
+def plan_order(
+    body: Sequence[Atom],
+    base: Optional[Substitution] = None,
+    bound_vars: Optional[Iterable[Variable]] = None,
+) -> List[Atom]:
     """Greedy join ordering: prefer atoms sharing variables with bound ones.
 
     A simple heuristic that keeps the backtracking join from degenerating
     into a cross product: repeatedly pick the atom with the most already
     bound variables (ties broken by fewer unbound variables, then by input
-    order for determinism).
+    order for determinism). *bound_vars* seeds additional variables as
+    already bound — semi-naive matching passes the delta atom's variables.
+
+    Each pick is an O(n) ``min()`` and binding a picked atom's variables
+    updates the per-atom bound counts incrementally, so a full plan is
+    O(n^2) in the body length rather than the former
+    re-sort-the-remainder O(n^2 log n).
     """
-    remaining = list(enumerate(body))
     bound = set(base) if base else set()
+    if bound_vars:
+        bound |= set(bound_vars)
+    atom_vars = [atom.variables() for atom in body]
+    n_bound = [len(vs & bound) for vs in atom_vars]
+    remaining = list(range(len(body)))
     order: List[Atom] = []
     while remaining:
-        def score(item: Tuple[int, Atom]) -> Tuple[int, int, int]:
-            idx, atom = item
-            vs = atom.variables()
-            n_bound = len(vs & bound)
-            n_unbound = len(vs - bound)
-            return (-n_bound, n_unbound, idx)
-
-        remaining.sort(key=score)
-        idx, atom = remaining.pop(0)
-        order.append(atom)
-        bound |= atom.variables()
+        idx = min(
+            remaining,
+            key=lambda i: (-n_bound[i], len(atom_vars[i]) - n_bound[i], i),
+        )
+        remaining.remove(idx)
+        order.append(body[idx])
+        fresh = atom_vars[idx] - bound
+        if fresh:
+            bound |= fresh
+            for i in remaining:
+                shared = len(atom_vars[i] & fresh)
+                if shared:
+                    n_bound[i] += shared
     return order

@@ -349,8 +349,15 @@ def run_database(
     workers: int = 1,
     deltas: Optional[Sequence[Delta]] = None,
     service=None,
+    engine: Optional[str] = None,
 ) -> DatabaseRun:
     """Run the full per-database experiment of Section 5.3.
+
+    ``engine`` selects the evaluation engine (``"compiled"`` /
+    ``"interpreted"``; ``None`` consults ``REPRO_ENGINE``) for both the
+    session path and the foil evaluation — the ablation axis of the
+    engine benchmarks. Service routing ignores it: the daemon's registry
+    builds sessions under its own (environment-resolved) engine.
 
     With ``use_session=True`` (default) the sampled tuples share one
     :class:`ProvenanceSession` — one instrumented evaluation, one GRI,
@@ -435,10 +442,12 @@ def run_database(
         )
     session: Optional[ProvenanceSession] = None
     if use_session:
-        session = ProvenanceSession(query, database, acyclicity=acyclicity)
+        session = ProvenanceSession(
+            query, database, acyclicity=acyclicity, engine=engine
+        )
         evaluation = session.evaluation
     else:
-        evaluation = evaluate(query.program, database)
+        evaluation = evaluate(query.program, database, engine=engine)
     tuples = sample_answer_tuples(
         query, database, count=tuples_per_database, seed=seed, evaluation=evaluation
     )
@@ -485,6 +494,7 @@ def run_scenario(
     acyclicity: str = "vertex-elimination",
     use_session: bool = True,
     workers: int = 1,
+    engine: Optional[str] = None,
 ) -> List[DatabaseRun]:
     """Run every database of a scenario."""
     return [
@@ -498,6 +508,7 @@ def run_scenario(
             acyclicity=acyclicity,
             use_session=use_session,
             workers=workers,
+            engine=engine,
         )
         for name in scenario.database_names()
     ]

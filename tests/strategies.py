@@ -11,10 +11,17 @@ Hypothesis run stays fast, wide enough to hit every family shape
 
 from hypothesis import strategies as st
 
+from repro.datalog.atoms import Atom
+from repro.datalog.plans import ENGINES
+from repro.datalog.terms import Variable
 from repro.scenarios.synthetic import FAMILIES, SyntheticInstance, generate_instance
 
 #: Every family name, as a sampling strategy.
 family_names = st.sampled_from(sorted(FAMILIES))
+
+#: Every evaluation engine name (``repro.datalog.plans.ENGINES``), for
+#: engine-differential properties.
+engines = st.sampled_from(ENGINES)
 
 #: Seeds kept small: the generators are uniform in the seed, and small
 #: seeds make failures reproducible by eye (`repro fuzz --seeds N`).
@@ -54,6 +61,31 @@ def instance_programs(draw):
 def instance_databases(draw):
     """A generated database (sorted text round-trips, facts-file dumps)."""
     return draw(synthetic_instances(rounds=st.just(0))).database
+
+
+#: Variable pool for random rule bodies (small, to force shared joins).
+_body_variables = st.sampled_from([Variable(f"v{i}") for i in range(6)])
+
+#: Terms mixing variables with a few constants.
+_body_terms = st.one_of(_body_variables, st.sampled_from(["c0", "c1", "c2"]))
+
+
+@st.composite
+def rule_bodies(draw, max_atoms: int = 6):
+    """A random rule body: atoms over a tiny predicate/term pool.
+
+    Used by the join-planning properties (``tests/test_plans.py``): small
+    variable and constant pools make shared variables — the thing join
+    ordering is about — overwhelmingly likely.
+    """
+    n_atoms = draw(st.integers(min_value=1, max_value=max_atoms))
+    body = []
+    for _ in range(n_atoms):
+        pred = draw(st.sampled_from(["p", "q", "r"]))
+        arity = draw(st.integers(min_value=0, max_value=3))
+        args = tuple(draw(_body_terms) for _ in range(arity))
+        body.append(Atom(pred, args))
+    return tuple(body)
 
 
 @st.composite
