@@ -17,13 +17,20 @@ database is admitted, and three things are measured:
 * **update-storm recovery** — a burst of single-fact updates (insert
   then delete), recording per-update maintenance latency and the first
   ``why`` after each: how fast the daemon is back to warm serving after
-  every write, without ever re-evaluating.
+  every write, without ever re-evaluating;
+* **restart recovery** — a second daemon with a ``--state-dir``: cold
+  admission (now also paying the snapshot write) and a WAL'd update
+  burst, then a hard stop and a restart on the same directory, timing
+  the rehydrating ``open`` against the cold one — the number that
+  justifies the durable tier (``docs/PERSISTENCE.md``).
 
-Emits ``BENCH_service_throughput.json`` with all three sections.
+Emits ``BENCH_service_throughput.json`` with all four sections.
 """
 
 import os
+import shutil
 import statistics
+import tempfile
 import threading
 import time
 
@@ -161,6 +168,10 @@ def _run_service_benchmark():
         stats = client.stats(digest)["result"]
         assert stats["session_stats"]["evaluations"] == 1
 
+    restart = _run_restart_recovery(
+        program_text, database_text, query.answer_predicate, scenario.name
+    )
+
     return {
         "scenario": scenario.name,
         "database": SERVICE_DATABASE,
@@ -184,7 +195,60 @@ def _run_service_benchmark():
             "first_why_after_update_seconds": recovery_seconds,
             "evaluations_after_storm": stats["session_stats"]["evaluations"],
         },
+        "restart_recovery": restart,
     }
+
+
+def _run_restart_recovery(program_text, database_text, answer, scenario_name):
+    """Cold-admit with a durable store, hard-stop, restart, time the open."""
+    state_dir = tempfile.mkdtemp(prefix="repro-bench-state-")
+    try:
+        with local_service(state_dir=state_dir) as client:
+            started = time.perf_counter()
+            opened = client.open(program_text, database_text, answer)
+            cold_seconds = time.perf_counter() - started
+            digest = opened["session"]
+            assert opened["result"]["rehydrated"] is False
+            # Insert-only burst: every update is effective, so the WAL
+            # holds exactly this many records for the replay below. Each
+            # update is timed because the fair baseline for a rehydrating
+            # open is a cold admission *plus* re-applying these updates —
+            # that is what reaching the same state without the store costs.
+            update_seconds = []
+            for index in range(SERVICE_UPDATES):
+                started = time.perf_counter()
+                client.update(
+                    digest, lines=[f"+{_storm_fact(scenario_name, index)}."]
+                )
+                update_seconds.append(time.perf_counter() - started)
+            disk_bytes = client.stats()["result"]["store"]["disk_bytes"]
+
+        # The context exit is the hard stop: nothing is flushed beyond
+        # what each committed request already fsync'd.
+        with local_service(state_dir=state_dir) as client:
+            started = time.perf_counter()
+            reopened = client.open(program_text, database_text, answer)
+            rehydrate_seconds = time.perf_counter() - started
+            assert reopened["result"]["rehydrated"] is True
+            assert reopened["version"] == SERVICE_UPDATES
+            stats = client.stats(digest)["result"]
+            evaluations = stats["session_stats"]["evaluations"]
+
+        cold_equivalent = cold_seconds + sum(update_seconds)
+        return {
+            "cold_admission_seconds": cold_seconds,
+            "update_seconds": update_seconds,
+            "cold_equivalent_seconds": cold_equivalent,
+            "rehydrate_seconds": rehydrate_seconds,
+            "speedup": (
+                cold_equivalent / rehydrate_seconds if rehydrate_seconds else 0.0
+            ),
+            "wal_updates_replayed": SERVICE_UPDATES,
+            "state_dir_bytes": disk_bytes,
+            "evaluations_after_restart": evaluations,
+        }
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
 
 
 def _storm_fact(scenario_name, index):
@@ -220,9 +284,20 @@ def test_service_throughput(benchmark, capsys):
             f"{statistics.median(storm['first_why_after_update_seconds']) * 1000:.2f}ms, "
             f"evaluations still {storm['evaluations_after_storm']}"
         )
+        restart = payload["restart_recovery"]
+        print(
+            f"restart recovery: cold admission + updates "
+            f"{restart['cold_equivalent_seconds']:.3f}s vs rehydrate "
+            f"{restart['rehydrate_seconds']:.3f}s "
+            f"({restart['speedup']:.1f}x, "
+            f"{restart['wal_updates_replayed']} WAL updates replayed, "
+            f"{restart['state_dir_bytes']} bytes on disk)"
+        )
         path = write_bench_json("service_throughput", payload)
         print(f"machine-readable record: {path}")
     # The acceptance shape: at least two concurrency points, all served.
     assert len(payload["throughput_curve"]) >= 2
     assert all(row["requests_per_second"] > 0 for row in payload["throughput_curve"])
     assert payload["update_storm"]["evaluations_after_storm"] == 1
+    assert payload["restart_recovery"]["evaluations_after_restart"] == 1
+    assert payload["restart_recovery"]["rehydrate_seconds"] > 0

@@ -551,9 +551,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.registry import SessionRegistry
     from .service.server import ProvenanceService, TCPServiceServer, serve_stdio
 
+    store = None
+    if args.state_dir and not args.no_persist:
+        from .service.store import SnapshotStore
+
+        store = SnapshotStore(args.state_dir)
     registry = SessionRegistry(
         max_sessions=args.max_sessions,
         max_bytes=args.max_bytes if args.max_bytes > 0 else None,
+        store=store,
     )
     service = ProvenanceService(
         registry=registry,
@@ -765,7 +771,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--paths",
         default="cold,warm,parallel,incremental,service",
-        help="comma-separated execution paths to diff (first is the reference)",
+        help="comma-separated execution paths to diff (first is the "
+        "reference); 'restart' adds the crash/restart durability path",
     )
     p_fuzz.add_argument(
         "--limit", type=int, default=4, help="witnesses per tuple (default: 4)"
@@ -843,6 +850,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_BYTES,
         help="byte budget across live sessions, 0 = unbounded "
         f"(default: {DEFAULT_MAX_BYTES // (1024 * 1024)} MiB)",
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable warm-state directory: admissions write crash-safe "
+        "snapshots, updates append to a fsync'd delta WAL, evictions "
+        "demote to disk, and a restarted daemon rehydrates sessions "
+        "instead of re-evaluating (default: no persistence)",
+    )
+    p_serve.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="serve purely in-memory even when --state-dir is given "
+        "(the directory is neither read nor written)",
     )
     p_serve.add_argument(
         "--threads",

@@ -549,6 +549,23 @@ class ProvenanceSession:
         except Exception:
             return 128 * (len(self.database) + len(self.model))
 
+    def mark_rehydrated(self) -> None:
+        """Account the one evaluation a restored snapshot already paid.
+
+        Sessions rebuilt from a persisted
+        :class:`~repro.core.parallel.EvaluationSnapshot` (the durable
+        warm-state tier of :mod:`repro.service.store`) carry an
+        evaluation that was computed once in a previous process
+        incarnation. This hook makes the restored session report that
+        history — ``stats.evaluations == 1`` — so the "never re-evaluate"
+        invariants (the incremental oracle path, the service benchmarks)
+        hold across restarts exactly as they do within one process.
+        Parallel batch workers deliberately do *not* call it: their
+        restored sessions report 0 evaluations, which is what
+        ``tests/test_parallel.py`` pins down.
+        """
+        self.stats.evaluations = 1
+
     def invalidate(self) -> None:
         """Drop every cached artifact (call after mutating the database)."""
         self.version += 1

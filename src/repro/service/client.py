@@ -276,6 +276,7 @@ def local_service(
     threads: Optional[int] = None,
     batch_workers: int = 1,
     parallel_threshold: Optional[int] = None,
+    state_dir: Optional[str] = None,
 ) -> Iterator[ServiceClient]:
     """A real daemon on an ephemeral localhost port, as a context manager.
 
@@ -284,7 +285,17 @@ def local_service(
     tears the whole stack down on exit. Every request genuinely crosses
     the TCP wire — this is the fixture behind the byte-identity tests,
     ``run_database(service=True)`` and the throughput benchmark.
+
+    ``state_dir`` attaches a durable warm-state tier
+    (:class:`~repro.service.store.SnapshotStore`) to a default registry,
+    the in-process equivalent of ``python -m repro serve --state-dir``;
+    ignored when an explicit ``registry`` is passed (configure its
+    ``store`` directly instead).
     """
+    if registry is None and state_dir is not None:
+        from .store import SnapshotStore
+
+        registry = SessionRegistry(store=SnapshotStore(state_dir))
     kwargs = {"registry": registry, "threads": threads, "batch_workers": batch_workers}
     if parallel_threshold is not None:
         kwargs["parallel_threshold"] = parallel_threshold

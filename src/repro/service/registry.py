@@ -28,9 +28,20 @@ Lifecycle of an entry:
   registry exceeds ``max_sessions`` or the byte budget. The newest entry
   is never evicted by the byte budget, so one oversized session still
   serves rather than thrashing. Eviction drops the registry's reference;
-  requests already holding the entry finish normally, and the next
-  request for that digest gets ``unknown-session`` — clients re-admit by
-  re-sending the texts.
+  requests already holding the entry finish normally. Without a store,
+  the next request for that digest gets ``unknown-session`` — clients
+  re-admit by re-sending the texts.
+* **demotion / rehydration** — with a :class:`~repro.service.store.
+  SnapshotStore` attached, eviction *demotes*: the entry's snapshot is
+  durably written (and its WAL compacted) instead of the warm state
+  being discarded, and both admission paths — inline texts *and* a bare
+  digest — check the store before evaluating, rebuilding the session
+  from disk via snapshot-unpickle plus WAL replay (incremental
+  maintenance; ``stats.evaluations`` stays 1). Every committed
+  ``update`` is appended to the session's WAL, fsync'd before the
+  response is sent, so a hard daemon kill loses nothing that was
+  acknowledged. Any disk-state damage degrades to a cold admission with
+  a logged reason, never an error to the client.
 
 Byte accounting uses
 :meth:`~repro.core.session.ProvenanceSession.estimated_bytes` (the pickled
@@ -49,9 +60,11 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.session import ProvenanceSession
 from ..datalog.database import Database
+from ..datalog.io import delta_to_lines
 from ..datalog.parser import parse_database, parse_program
 from ..datalog.program import DatalogQuery
 from .protocol import ServiceError
+from .store import SnapshotStore, logger as store_logger
 
 #: Default cap on live sessions (LRU beyond this).
 DEFAULT_MAX_SESSIONS = 8
@@ -72,6 +85,9 @@ class SessionEntry:
     admitted_at: float = 0.0
     last_used_at: float = 0.0
     admission_seconds: float = 0.0
+    #: Whether this entry was rebuilt from the durable store (snapshot +
+    #: WAL replay) rather than paid for with a cold evaluation.
+    rehydrated: bool = False
 
     @property
     def lock(self) -> "threading.RLock":
@@ -105,6 +121,7 @@ class SessionEntry:
             "admitted_at": self.admitted_at,
             "last_used_at": self.last_used_at,
             "admission_seconds": self.admission_seconds,
+            "rehydrated": self.rehydrated,
         }
         if not acquired:
             summary["busy"] = True
@@ -185,6 +202,12 @@ class SessionRegistry:
         Evaluation knobs baked into every admitted session *and* into the
         content digest, so registries with different knobs never share
         addresses.
+    store:
+        A :class:`~repro.service.store.SnapshotStore` making warm state
+        durable: admissions persist a snapshot, updates append to a
+        fsync'd delta WAL, evictions demote to disk, and misses (in this
+        process or after a restart) rehydrate instead of re-evaluating.
+        ``None`` (the default) keeps the registry purely in-memory.
     """
 
     def __init__(
@@ -193,14 +216,20 @@ class SessionRegistry:
         max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
         method: str = "seminaive",
         acyclicity: str = "vertex-elimination",
+        store: Optional[SnapshotStore] = None,
     ):
         self.max_sessions = max(1, max_sessions)
         self.max_bytes = max_bytes
         self.method = method
         self.acyclicity = acyclicity
+        self.store = store
         self.admissions = 0
         self.hits = 0
         self.evictions = 0
+        self.demotions = 0
+        self.demotion_failures = 0
+        self.rehydrations = 0
+        self.persist_failures = 0
         self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
         self._lock = threading.Lock()
         #: digest -> event for admissions in flight: lets concurrent
@@ -230,65 +259,131 @@ class SessionRegistry:
     ) -> Tuple[SessionEntry, bool]:
         """Admit-or-reuse the session for the given wire texts.
 
-        Returns ``(entry, admitted)`` — ``admitted`` is ``True`` for a
-        cold admission (evaluation paid here), ``False`` for a warm hit.
-        The evaluation itself runs *outside* the registry lock (warm
-        hits on other digests never wait behind an admission); requests
-        racing to admit the same new digest wait on a per-digest event
-        and hit the finished entry, so each content digest still
-        evaluates at most once.
+        Returns ``(entry, admitted)`` — ``admitted`` is ``True`` for an
+        admission (a registry miss served by evaluation *or* by store
+        rehydration — ``entry.rehydrated`` tells them apart), ``False``
+        for a warm hit. The evaluation itself runs *outside* the
+        registry lock (warm hits on other digests never wait behind an
+        admission); requests racing to admit the same new digest wait on
+        a per-digest event and hit the finished entry, so each content
+        digest still evaluates at most once.
         """
         query, database, answer = canonicalize_query(
             program_text, database_text, answer
         )
         digest = content_digest(query, database, self.method, self.acyclicity)
+        hit = self._await_admission_slot(digest)
+        if hit is not None:
+            return hit, False
+        try:
+            entry = self._rehydrate_entry(digest)
+            if entry is None:
+                entry = self._evaluate_entry(query, database, answer, digest)
+            self._install(entry)
+            return entry, True
+        finally:
+            with self._lock:
+                event = self._admitting.pop(digest)
+            event.set()
+
+    def _await_admission_slot(self, digest: str) -> Optional[SessionEntry]:
+        """Claim the right to admit *digest*, or return the live entry.
+
+        Returns the entry on a warm hit (LRU-touched, hit-counted);
+        ``None`` means this thread holds the per-digest admission slot
+        and *must* release it (pop + set the event) when done.
+        """
         while True:
             with self._lock:
                 entry = self._entries.get(digest)
                 if entry is not None:
                     self.hits += 1
                     self._touch(entry)
-                    return entry, False
+                    return entry
                 pending = self._admitting.get(digest)
                 if pending is None:
                     self._admitting[digest] = threading.Event()
-                    break  # this request performs the admission
-            # Another request is evaluating this digest: wait for it,
+                    return None  # this request performs the admission
+            # Another request is admitting this digest: wait for it,
             # then re-check (its admission may also have failed —
             # in that case this request retries the admission itself).
             pending.wait()
+
+    def _evaluate_entry(
+        self,
+        query: DatalogQuery,
+        database: Database,
+        answer: str,
+        digest: str,
+    ) -> SessionEntry:
+        """Cold admission: build the session, pay the evaluation, persist."""
+        started = time.perf_counter()
         try:
-            started = time.perf_counter()
-            try:
-                session = ProvenanceSession(
-                    query,
-                    database,
-                    method=self.method,
-                    acyclicity=self.acyclicity,
-                )
-            except ValueError as exc:
-                raise ServiceError("bad-request", str(exc))
-            session.evaluation  # cold admission pays the evaluation up front
-            cost = session.estimated_bytes()
-            now = time.time()
-            entry = SessionEntry(
-                digest=digest,
-                session=session,
-                answer=answer,
-                cost_bytes=cost,
-                admitted_at=now,
-                last_used_at=now,
-                admission_seconds=time.perf_counter() - started,
+            session = ProvenanceSession(
+                query,
+                database,
+                method=self.method,
+                acyclicity=self.acyclicity,
             )
-            with self._lock:
-                self._entries[digest] = entry
-                self.admissions += 1
-                self._evict_over_budget()
-            return entry, True
-        finally:
-            with self._lock:
-                event = self._admitting.pop(digest)
-            event.set()
+        except ValueError as exc:
+            raise ServiceError("bad-request", str(exc))
+        session.evaluation  # cold admission pays the evaluation up front
+        cost = session.estimated_bytes()
+        self._persist_admission(digest, session)
+        now = time.time()
+        return SessionEntry(
+            digest=digest,
+            session=session,
+            answer=answer,
+            cost_bytes=cost,
+            admitted_at=now,
+            last_used_at=now,
+            admission_seconds=time.perf_counter() - started,
+        )
+
+    def _rehydrate_entry(self, digest: str) -> Optional[SessionEntry]:
+        """Rebuild *digest* from the durable store, or ``None`` on a miss.
+
+        A miss is silent here (the store logs and counts its reason);
+        the caller falls back to cold evaluation — the "never an error
+        to the client" half of the recovery contract.
+        """
+        if self.store is None:
+            return None
+        started = time.perf_counter()
+        try:
+            session = self.store.rehydrate(
+                digest, method=self.method, acyclicity=self.acyclicity
+            )
+        except Exception:
+            # The store's own contract is to degrade, not raise; treat a
+            # bug there as one more reason to fall back to evaluation.
+            store_logger.exception("rehydration crashed for %s", digest)
+            session = None
+        if session is None:
+            return None
+        cost = session.estimated_bytes()
+        now = time.time()
+        with self._lock:
+            self.rehydrations += 1
+        return SessionEntry(
+            digest=digest,
+            session=session,
+            answer=session.query.answer_predicate,
+            cost_bytes=cost,
+            admitted_at=now,
+            last_used_at=now,
+            admission_seconds=time.perf_counter() - started,
+            rehydrated=True,
+        )
+
+    def _install(self, entry: SessionEntry) -> None:
+        """Put a finished admission live and apply the budgets."""
+        with self._lock:
+            self._entries[entry.digest] = entry
+            self.admissions += 1
+            evicted = self._evict_over_budget()
+        self._demote_entries(evicted)
 
     def _lookup_locked(self, digest: str) -> SessionEntry:
         entry = self._entries.get(digest)
@@ -301,12 +396,34 @@ class SessionRegistry:
         return entry
 
     def get(self, digest: str) -> SessionEntry:
-        """The live entry under *digest* (``unknown-session`` if evicted)."""
-        with self._lock:
-            entry = self._lookup_locked(digest)
-            self.hits += 1
-            self._touch(entry)
+        """The live entry under *digest*, rehydrating from the store.
+
+        Without a store (or on a store miss) an evicted or unknown
+        digest raises ``unknown-session`` and the client re-admits by
+        re-sending the texts. With a store, a demoted digest is
+        transparently rebuilt from its snapshot + WAL — eviction becomes
+        a tier change instead of a contract break.
+        """
+        if self.store is None:
+            with self._lock:
+                entry = self._lookup_locked(digest)
+                self.hits += 1
+                self._touch(entry)
+                return entry
+        hit = self._await_admission_slot(digest)
+        if hit is not None:
+            return hit
+        try:
+            entry = self._rehydrate_entry(digest)
+            if entry is None:
+                with self._lock:
+                    self._lookup_locked(digest)  # raises unknown-session
+            self._install(entry)
             return entry
+        finally:
+            with self._lock:
+                event = self._admitting.pop(digest)
+            event.set()
 
     def peek(self, digest: str) -> SessionEntry:
         """Like :meth:`get`, but without LRU-touching or hit accounting.
@@ -327,18 +444,26 @@ class SessionRegistry:
         """
         with entry.lock:
             cost = entry.session.estimated_bytes()
+        evicted: List[SessionEntry] = []
         with self._lock:
             entry.cost_bytes = cost
             if entry.digest in self._entries:
-                self._evict_over_budget()
+                evicted = self._evict_over_budget()
+        self._demote_entries(evicted)
 
     def evict(self, digest: str) -> bool:
-        """Drop one entry by digest; returns whether it was live."""
+        """Drop one entry by digest; returns whether it was live.
+
+        With a store attached the entry is demoted (snapshot + WAL
+        compaction) on the way out, like any budget eviction.
+        """
         with self._lock:
             entry = self._entries.pop(digest, None)
             if entry is not None:
                 self.evictions += 1
-            return entry is not None
+        if entry is not None:
+            self._demote_entries([entry])
+        return entry is not None
 
     # -- accounting ----------------------------------------------------------
 
@@ -347,15 +472,103 @@ class SessionRegistry:
         entry.hits += 1
         entry.last_used_at = time.time()
 
-    def _evict_over_budget(self) -> None:
+    def _evict_over_budget(self) -> List[SessionEntry]:
+        """Pop LRU entries past the budgets; returns them for demotion.
+
+        Runs under the registry lock. The popped entries are *returned*
+        rather than demoted here: demotion pickles each session under
+        its own lock, and session-lock-inside-registry-lock is the
+        reverse of the ``refresh_cost`` order (a deadlock).
+        """
+        evicted: List[SessionEntry] = []
         while len(self._entries) > self.max_sessions:
-            self._entries.popitem(last=False)
+            evicted.append(self._entries.popitem(last=False)[1])
             self.evictions += 1
-        if self.max_bytes is None:
+        if self.max_bytes is not None:
+            while (
+                len(self._entries) > 1
+                and self._total_bytes_locked() > self.max_bytes
+            ):
+                evicted.append(self._entries.popitem(last=False)[1])
+                self.evictions += 1
+        return evicted
+
+    # -- durability ----------------------------------------------------------
+
+    def _persist_admission(self, digest: str, session: ProvenanceSession) -> None:
+        """Durably store a freshly-evaluated session (best-effort).
+
+        Failure (disk full, permissions) must not fail the admission —
+        the daemon keeps serving from memory, counts the failure, and
+        the digest simply is not restart-warm.
+        """
+        if self.store is None:
             return
-        while len(self._entries) > 1 and self._total_bytes_locked() > self.max_bytes:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        try:
+            blob = session.snapshot_bytes()
+            self.store.put_snapshot(digest, session.version, blob)
+            self.store.reset_wal(digest)
+        except Exception:
+            with self._lock:
+                self.persist_failures += 1
+            store_logger.exception("could not persist admission for %s", digest)
+
+    def _demote_entries(self, entries: List[SessionEntry]) -> None:
+        """Demote evicted entries to disk instead of discarding them.
+
+        Each demotion holds the entry's *session* lock across the
+        snapshot write **and** the WAL reset: an in-flight request that
+        still holds the (now unregistered) entry could otherwise commit
+        a WAL record between the two, and the reset would silently drop
+        an acknowledged update. Under the session lock the compaction is
+        atomic with respect to appends, and crash-ordering inside it is
+        handled by the store (snapshot replaced before WAL reset).
+        """
+        if self.store is None or not entries:
+            return
+        for entry in entries:
+            try:
+                with entry.lock:
+                    blob = entry.session.snapshot_bytes()
+                    self.store.put_snapshot(
+                        entry.digest, entry.session.version, blob
+                    )
+                    self.store.reset_wal(entry.digest)
+                with self._lock:
+                    self.demotions += 1
+            except Exception:
+                with self._lock:
+                    self.demotion_failures += 1
+                store_logger.exception("could not demote %s", entry.digest)
+
+    def record_update(self, entry: SessionEntry, receipt) -> None:
+        """Append one committed ``update`` to the entry's WAL, fsync'd.
+
+        Called by the server *while still holding the session lock* and
+        before the response is sent, so WAL order matches version order
+        and an acknowledged update is always on disk. No-ops are not
+        logged (they did not advance the version). If the append fails,
+        the digest's on-disk state is invalidated outright: recovery
+        then degrades to a cold admission instead of rehydrating a state
+        older than one the client saw acknowledged.
+        """
+        if self.store is None or receipt.effective.is_empty():
+            return
+        try:
+            self.store.append_wal(
+                entry.digest, receipt.version, delta_to_lines(receipt.effective)
+            )
+        except Exception:
+            with self._lock:
+                self.persist_failures += 1
+            store_logger.exception(
+                "WAL append failed for %s; invalidating its durable state",
+                entry.digest,
+            )
+            try:
+                self.store.invalidate(entry.digest)
+            except Exception:
+                store_logger.exception("could not invalidate %s", entry.digest)
 
     def _total_bytes_locked(self) -> int:
         return sum(entry.cost_bytes for entry in self._entries.values())
@@ -389,10 +602,15 @@ class SessionRegistry:
                 "admissions": self.admissions,
                 "hits": self.hits,
                 "evictions": self.evictions,
+                "demotions": self.demotions,
+                "demotion_failures": self.demotion_failures,
+                "rehydrations": self.rehydrations,
+                "persist_failures": self.persist_failures,
                 "method": self.method,
                 "acyclicity": self.acyclicity,
             }
         snapshot["sessions"] = [entry.describe() for entry in entries]
+        snapshot["store"] = None if self.store is None else self.store.stats()
         return snapshot
 
     def __len__(self) -> int:

@@ -253,6 +253,7 @@ class ProvenanceService:
         with entry.lock:
             result = {
                 "admitted": admitted,
+                "rehydrated": entry.rehydrated,
                 "answer": entry.answer,
                 "answers": _answer_count(entry.session),
                 "fact_count": len(entry.session.database),
@@ -482,6 +483,10 @@ class ProvenanceService:
                 receipt = session.update(delta)
             except ValueError as exc:  # schema/type validation rejects cleanly
                 raise ServiceError("bad-request", str(exc))
+            # Durability point: the committed delta reaches the fsync'd
+            # WAL under the session lock (order = version order) and
+            # before the response below is sent. No-op if no store.
+            self.registry.record_update(entry, receipt)
             result = {
                 "version": receipt.version,
                 "inserted": len(receipt.effective.inserted),

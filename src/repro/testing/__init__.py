@@ -11,6 +11,7 @@ fuzz`` CLI subcommand and the property tests are thin drivers over it.
 
 from .oracle import (
     ALL_PATHS,
+    DEFAULT_PATHS,
     Divergence,
     OracleConfig,
     OracleReport,
@@ -20,6 +21,7 @@ from .oracle import (
 
 __all__ = [
     "ALL_PATHS",
+    "DEFAULT_PATHS",
     "Divergence",
     "OracleConfig",
     "OracleReport",

@@ -1,6 +1,6 @@
-"""The cross-stack differential oracle: five execution paths, one answer.
+"""The cross-stack differential oracle: six execution paths, one answer.
 
-The library serves why-provenance through five distinct machines that are
+The library serves why-provenance through six distinct machines that are
 all contractually byte-identical:
 
 * ``cold`` — a fresh :class:`~repro.core.session.ProvenanceSession` per
@@ -13,7 +13,11 @@ all contractually byte-identical:
   :meth:`ProvenanceSession.update` (delta-semi-naive / DRed maintenance,
   never re-evaluation);
 * ``service`` — a real daemon on a TCP socket, states reached through
-  wire ``update`` requests, witnesses through wire ``batch`` requests.
+  wire ``update`` requests, witnesses through wire ``batch`` requests;
+* ``restart`` — a daemon with a durable state dir, hard-stopped halfway
+  through the delta sequence and restarted on the same directory; the
+  second incarnation must rehydrate the session from its snapshot + WAL
+  (never re-evaluate) and keep serving byte-identical observations.
 
 :func:`run_oracle` drives one generated instance
 (:class:`~repro.scenarios.synthetic.SyntheticInstance`) through every
@@ -45,7 +49,12 @@ from ..service.protocol import render_members
 
 #: Every execution path the oracle can drive, in reference order: the
 #: first configured path is the baseline the others are diffed against.
-ALL_PATHS = ("cold", "warm", "parallel", "incremental", "service")
+ALL_PATHS = ("cold", "warm", "parallel", "incremental", "service", "restart")
+
+#: The default path set: everything but ``restart``, which spins up two
+#: daemon incarnations per instance and earns its keep in the dedicated
+#: fuzz step (``--paths cold,restart``) rather than in every quick run.
+DEFAULT_PATHS = ("cold", "warm", "parallel", "incremental", "service")
 
 
 @dataclass(frozen=True)
@@ -58,7 +67,7 @@ class OracleConfig:
     ``limit`` bounds work instead.
     """
 
-    paths: Tuple[str, ...] = ALL_PATHS
+    paths: Tuple[str, ...] = DEFAULT_PATHS
     limit: int = 4
     tuples_per_state: int = 3
     sample_seed: int = 7
@@ -194,7 +203,7 @@ def _state_databases(instance: SyntheticInstance) -> List[Database]:
     return states
 
 
-# -- the five paths -----------------------------------------------------------
+# -- the six paths ------------------------------------------------------------
 
 
 def _run_cold(instance: SyntheticInstance, config: OracleConfig) -> List[str]:
@@ -246,30 +255,32 @@ def _run_incremental(instance: SyntheticInstance, config: OracleConfig) -> List[
     return texts
 
 
+def _observe_wire_state(client, digest: str, config: OracleConfig) -> str:
+    """One state's observation through a connected service client."""
+    answered = client.answers(digest)
+    answers = [tuple(values) for values in answered["result"]["answers"]]
+    sampled = sample_from_answers(
+        answers, count=config.tuples_per_state, seed=config.sample_seed
+    )
+    witnesses: List[Dict] = []
+    if sampled:
+        batch = client.batch(
+            digest,
+            tuples=sampled,
+            limit=config.limit,
+            timeout=config.timeout_seconds,
+            workers=1,
+        )
+        witnesses = [
+            {"tuple": list(entry["tuple"]), "members": entry["members"]}
+            for entry in batch["result"]["results"]
+        ]
+    return _canonical(answers, witnesses)
+
+
 def _run_service(instance: SyntheticInstance, config: OracleConfig) -> List[str]:
     from ..service.client import local_service
     from ..service.registry import SessionRegistry
-
-    def observe(client, digest: str) -> str:
-        answered = client.answers(digest)
-        answers = [tuple(values) for values in answered["result"]["answers"]]
-        sampled = sample_from_answers(
-            answers, count=config.tuples_per_state, seed=config.sample_seed
-        )
-        witnesses: List[Dict] = []
-        if sampled:
-            batch = client.batch(
-                digest,
-                tuples=sampled,
-                limit=config.limit,
-                timeout=config.timeout_seconds,
-                workers=1,
-            )
-            witnesses = [
-                {"tuple": list(entry["tuple"]), "members": entry["members"]}
-                for entry in batch["result"]["results"]
-            ]
-        return _canonical(answers, witnesses)
 
     registry = SessionRegistry(acyclicity=config.acyclicity)
     with local_service(registry=registry) as client:
@@ -279,11 +290,97 @@ def _run_service(instance: SyntheticInstance, config: OracleConfig) -> List[str]
             instance.query.answer_predicate,
         )
         digest = opened["session"]
-        texts = [observe(client, digest)]
+        texts = [_observe_wire_state(client, digest, config)]
         for lines in instance.delta_lines():
             client.update(digest, lines=lines)
-            texts.append(observe(client, digest))
+            texts.append(_observe_wire_state(client, digest, config))
     return texts
+
+
+def _run_restart(instance: SyntheticInstance, config: OracleConfig) -> List[str]:
+    """The durable-tier path: crash the daemon mid-sequence, restart, resume.
+
+    The first daemon incarnation admits the session with a
+    :class:`~repro.service.store.SnapshotStore` attached and applies the
+    first half of the delta sequence; it is then dropped *without* any
+    demotion flush — exactly what a crash leaves behind (durability must
+    come from the admission snapshot and the per-update WAL fsyncs, both
+    written before each response was sent). The second incarnation, on
+    the same state directory, must rehydrate rather than re-evaluate
+    (``evaluations == 1``), serve the pre-stop state byte-identically,
+    and then absorb the remaining deltas.
+    """
+    import shutil
+    import tempfile
+
+    from ..service.client import local_service
+    from ..service.registry import SessionRegistry
+    from ..service.store import SnapshotStore
+
+    delta_lines = list(instance.delta_lines())
+    half = (len(delta_lines) + 1) // 2
+    state_dir = tempfile.mkdtemp(prefix="repro-oracle-restart-")
+    try:
+        registry = SessionRegistry(
+            acyclicity=config.acyclicity, store=SnapshotStore(state_dir)
+        )
+        with local_service(registry=registry) as client:
+            opened = client.open(
+                instance.program_text(),
+                instance.database_text(),
+                instance.query.answer_predicate,
+            )
+            digest = opened["session"]
+            texts = [_observe_wire_state(client, digest, config)]
+            for lines in delta_lines[:half]:
+                client.update(digest, lines=lines)
+                texts.append(_observe_wire_state(client, digest, config))
+        # Hard stop: the context exit above tears the daemon down without
+        # demoting anything — the store holds only what was fsync'd at
+        # commit time, which is the whole durability claim under test.
+        del registry
+        registry = SessionRegistry(
+            acyclicity=config.acyclicity, store=SnapshotStore(state_dir)
+        )
+        with local_service(registry=registry) as client:
+            opened = client.open(
+                instance.program_text(),
+                instance.database_text(),
+                instance.query.answer_predicate,
+            )
+            if opened["session"] != digest:
+                raise RuntimeError(
+                    "restart path re-admitted under a different digest "
+                    f"({opened['session']} != {digest})"
+                )
+            # Not asserts: these must fire under ``python -O`` too. A
+            # silent cold fallback would make the texts trivially correct
+            # while voiding the crash-recovery claim this path tests.
+            if not opened["result"]["rehydrated"]:
+                raise RuntimeError(
+                    "restart path fell back to cold admission; the second "
+                    "incarnation must rehydrate from the snapshot store"
+                )
+            stats = client.stats(session=digest)
+            evaluations = stats["result"]["session_stats"]["evaluations"]
+            if evaluations != 1:
+                raise RuntimeError(
+                    f"rehydrated session reports {evaluations} evaluations; "
+                    "snapshot restore + WAL replay must keep the single "
+                    "original evaluation"
+                )
+            resumed = _observe_wire_state(client, digest, config)
+            if resumed != texts[-1]:
+                raise RuntimeError(
+                    "restart path lost state across the crash: the "
+                    "rehydrated observation differs from the pre-stop one"
+                )
+            for lines in delta_lines[half:]:
+                client.update(digest, lines=lines)
+                texts.append(_observe_wire_state(client, digest, config))
+        return texts
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
 
 
 _PATH_RUNNERS: Dict[str, Callable[[SyntheticInstance, OracleConfig], List[str]]] = {
@@ -292,6 +389,7 @@ _PATH_RUNNERS: Dict[str, Callable[[SyntheticInstance, OracleConfig], List[str]]]
     "parallel": _run_parallel,
     "incremental": _run_incremental,
     "service": _run_service,
+    "restart": _run_restart,
 }
 
 

@@ -31,6 +31,7 @@ from repro.service.protocol import (
     render_members,
 )
 from repro.service.registry import SessionRegistry, content_digest
+from repro.service.store import SnapshotStore
 from repro.service.server import ProvenanceService
 
 PROGRAM_TEXT = """
@@ -771,3 +772,71 @@ class TestErrorPaths:
             ) as sock:
                 sock.sendall(b'{"op": "ping"')  # no newline, then FIN
             assert client.ping()["ok"]
+
+
+class TestDurableService:
+    """The durable warm-state tier as seen over the wire.
+
+    The store itself is covered in ``test_store.py`` /
+    ``test_store_faults.py``; here the assertions are about what clients
+    observe: the ``stats`` counters, the ``rehydrated`` flag on ``open``,
+    and warm state surviving a full daemon teardown + restart on the
+    same ``--state-dir``.
+    """
+
+    def test_stats_expose_durability_counters(self, tmp_path):
+        with local_service(state_dir=str(tmp_path)) as client:
+            client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")
+            stats = client.stats()["result"]
+            for counter in (
+                "evictions",
+                "demotions",
+                "demotion_failures",
+                "rehydrations",
+                "persist_failures",
+            ):
+                assert stats[counter] == 0
+            store = stats["store"]
+            assert store["stored_digests"] == 1
+            assert store["snapshot_writes"] == 1
+            assert store["disk_bytes"] > 0
+
+    def test_stats_store_is_null_without_state_dir(self):
+        with local_service() as client:
+            client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")
+            assert client.stats()["result"]["store"] is None
+
+    def test_restart_serves_updated_state_without_reevaluating(self, tmp_path):
+        with local_service(state_dir=str(tmp_path)) as client:
+            opened = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")
+            assert opened["result"]["rehydrated"] is False
+            digest = opened["session"]
+            client.update(digest, insert=["e(c, d)."])
+            answers = client.answers(digest)["result"]["answers"]
+
+        # Hard stop above (no demotion flush); second daemon, same dir.
+        with local_service(state_dir=str(tmp_path)) as client:
+            reopened = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")
+            assert reopened["session"] == digest
+            assert reopened["result"]["admitted"] is True
+            assert reopened["result"]["rehydrated"] is True
+            assert reopened["version"] == 1  # the WAL'd update replayed
+            stats = client.stats(session=digest)["result"]
+            assert stats["session_stats"]["evaluations"] == 1
+            assert stats["rehydrations"] == 1
+            assert client.answers(digest)["result"]["answers"] == answers
+
+    def test_eviction_demotes_and_reopen_rehydrates_over_the_wire(self, tmp_path):
+        registry = SessionRegistry(
+            max_sessions=1, store=SnapshotStore(str(tmp_path))
+        )
+        with local_service(registry=registry) as client:
+            first = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")["session"]
+            client.open(PROGRAM_TEXT, chain_db(3), "tc")  # evicts + demotes
+            stats = client.stats()["result"]
+            assert stats["evictions"] == 1
+            assert stats["demotions"] == 1
+            reopened = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")
+            assert reopened["session"] == first
+            assert reopened["result"]["rehydrated"] is True
+            assert client.stats()["result"]["rehydrations"] == 1

@@ -1,0 +1,196 @@
+"""The snapshot store's corruption matrix and registry-level recovery.
+
+Complementary to ``test_store_faults.py`` (which enumerates crash
+points): here the on-disk state is damaged *byte-wise* — truncated
+snapshot, bit-flipped body, torn WAL line, version-gapped WAL — and the
+contract under test is the soft half of recovery: every kind of damage
+degrades to a cold admission with a counted, logged reason, and is never
+surfaced to the client as an exception or a silently wrong answer.
+"""
+
+import logging
+import threading
+
+import pytest
+
+from repro.scenarios.synthetic import generate_instance
+from repro.service.protocol import ServiceError
+from repro.service.registry import SessionRegistry
+from repro.service.store import SnapshotStore
+
+ANSWER = None  # instances carry their own answer predicate
+
+
+@pytest.fixture
+def instance():
+    return generate_instance("chain", size=8, seed=11, delta_rounds=2)
+
+
+def _admit(state_dir, instance):
+    registry = SessionRegistry(store=SnapshotStore(str(state_dir)))
+    entry, admitted = registry.acquire(
+        instance.program_text(),
+        instance.database_text(),
+        instance.query.answer_predicate,
+    )
+    assert admitted and not entry.rehydrated
+    return registry, entry
+
+
+def _reacquire(state_dir, instance):
+    """A 'restarted daemon': a fresh registry over the same state dir."""
+    store = SnapshotStore(str(state_dir))
+    registry = SessionRegistry(store=store)
+    entry, admitted = registry.acquire(
+        instance.program_text(),
+        instance.database_text(),
+        instance.query.answer_predicate,
+    )
+    assert admitted
+    return store, entry
+
+
+# -- the corruption matrix -----------------------------------------------------
+
+
+def test_truncated_snapshot_degrades_to_cold_admission(tmp_path, instance, caplog):
+    registry, entry = _admit(tmp_path, instance)
+    expected = entry.session.answers()
+    path = registry.store.snapshot_path(entry.digest)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(data[:-10])
+
+    with caplog.at_level(logging.WARNING, logger="repro.service.store"):
+        store, recovered = _reacquire(tmp_path, instance)
+    assert not recovered.rehydrated  # cold fallback, not rehydration
+    assert recovered.session.answers() == expected
+    assert store.miss_reasons == {"snapshot-torn": 1}
+    assert "snapshot-torn" in caplog.text
+
+
+def test_bit_flipped_snapshot_body_fails_checksum(tmp_path, instance, caplog):
+    registry, entry = _admit(tmp_path, instance)
+    expected = entry.session.answers()
+    path = registry.store.snapshot_path(entry.digest)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    flipped = data[:-1] + bytes([data[-1] ^ 0xFF])
+    assert len(flipped) == len(data)  # same length: only the checksum trips
+    with open(path, "wb") as handle:
+        handle.write(flipped)
+
+    with caplog.at_level(logging.WARNING, logger="repro.service.store"):
+        store, recovered = _reacquire(tmp_path, instance)
+    assert not recovered.rehydrated
+    assert recovered.session.answers() == expected
+    assert store.miss_reasons == {"snapshot-checksum": 1}
+    assert "snapshot-checksum" in caplog.text
+
+
+def test_torn_final_wal_line_is_truncated_and_replay_succeeds(
+    tmp_path, instance, caplog
+):
+    registry, entry = _admit(tmp_path, instance)
+    for delta in instance.deltas:
+        with entry.lock:
+            receipt = entry.session.update(delta)
+            registry.record_update(entry, receipt)
+    expected = entry.session.answers()
+    version = entry.session.version
+    assert version > 0, "the instance must produce effective updates"
+
+    wal = registry.store.wal_path(entry.digest)
+    with open(wal, "ab") as handle:
+        handle.write(b"deadbeef {this is not a committed record")
+
+    with caplog.at_level(logging.WARNING, logger="repro.service.store"):
+        store, recovered = _reacquire(tmp_path, instance)
+    assert recovered.rehydrated  # the valid prefix still serves
+    assert recovered.session.version == version
+    assert recovered.session.answers() == expected
+    assert "torn WAL tail" in caplog.text
+    with open(wal, "rb") as handle:
+        repaired = handle.read()
+    assert not repaired.endswith(b"committed record")  # tail truncated
+
+
+def test_wal_version_gap_degrades_to_cold_admission(tmp_path, instance, caplog):
+    registry, entry = _admit(tmp_path, instance)
+    expected = entry.session.answers()
+    # The snapshot is at version 0; a record stamped v=2 leaves committed
+    # version 1 unreachable, so serving snapshot+WAL could be stale.
+    registry.store.append_wal(entry.digest, 2, ["+e(1,2)."])
+
+    with caplog.at_level(logging.WARNING, logger="repro.service.store"):
+        store, recovered = _reacquire(tmp_path, instance)
+    assert not recovered.rehydrated
+    assert recovered.session.answers() == expected
+    assert store.miss_reasons == {"wal-version-gap": 1}
+    assert "wal-version-gap" in caplog.text
+
+
+def test_knob_mismatch_is_a_counted_miss(tmp_path, instance):
+    registry, entry = _admit(tmp_path, instance)
+    store = SnapshotStore(str(tmp_path))
+    assert store.rehydrate(entry.digest, acyclicity="some-other-encoding") is None
+    assert store.miss_reasons == {"snapshot-knob-mismatch": 1}
+
+
+def test_concurrent_double_demotion_is_safe(tmp_path, instance):
+    registry, entry = _admit(tmp_path, instance)
+    expected = entry.session.answers()
+    barrier = threading.Barrier(2)
+    errors = []
+
+    def demote():
+        barrier.wait()
+        try:
+            registry._demote_entries([entry])
+        except Exception as exc:  # pragma: no cover - the failure under test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=demote) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert registry.demotions == 2
+    assert registry.demotion_failures == 0
+    recovered = SnapshotStore(str(tmp_path)).rehydrate(entry.digest)
+    assert recovered is not None
+    assert recovered.answers() == expected
+
+
+# -- registry semantics around the store ---------------------------------------
+
+
+def test_unknown_digest_still_raises_unknown_session(tmp_path):
+    registry = SessionRegistry(store=SnapshotStore(str(tmp_path)))
+    with pytest.raises(ServiceError) as excinfo:
+        registry.get("0" * 16)
+    assert excinfo.value.code == "unknown-session"
+
+
+def test_eviction_demotes_and_get_rehydrates_transparently(tmp_path, instance):
+    registry = SessionRegistry(max_sessions=1, store=SnapshotStore(str(tmp_path)))
+    entry, _ = registry.acquire(
+        instance.program_text(),
+        instance.database_text(),
+        instance.query.answer_predicate,
+    )
+    expected = entry.session.answers()
+    other = generate_instance("tree", size=6, seed=3, delta_rounds=0)
+    registry.acquire(
+        other.program_text(), other.database_text(), other.query.answer_predicate
+    )
+    assert registry.evictions == 1
+    assert registry.demotions == 1
+
+    revived = registry.get(entry.digest)
+    assert revived.rehydrated
+    assert revived.session.stats.evaluations == 1
+    assert revived.session.answers() == expected
+    assert registry.rehydrations == 1

@@ -1,0 +1,255 @@
+"""Crash-point enumeration for the durable warm-state tier.
+
+The store's contract (``docs/PERSISTENCE.md``): a crash at *any*
+filesystem-operation boundary leaves a reopened store serving the
+previous consistent state, the fully-committed new one, or a clean miss
+— never a torn state, never an exception, never a state older than an
+acknowledged update. These tests prove it by brute force: run each
+write workload once under a counting :class:`faultinject.CrashingFS` to
+enumerate its operations, then re-run it once per operation index with
+the crash injected there (with and without torn half-writes) and assert
+the recovery invariant on a reopened store each time. Hypothesis
+generalizes the sweep over random delta sequences, blob sequences and
+crash indices.
+"""
+
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from faultinject import CrashingFS, SimulatedCrash
+from repro.core.session import ProvenanceSession
+from repro.datalog.io import delta_to_lines
+from repro.scenarios.synthetic import generate_instance
+from repro.service.store import SnapshotStore
+
+#: A syntactically plausible registry digest (the store treats it as an
+#: opaque filename component + header stamp).
+DIGEST = "f" * 64
+
+
+# -- deterministic sweeps ------------------------------------------------------
+
+
+def test_snapshot_overwrite_recovers_old_or_new_at_every_crash_point(tmp_path):
+    old_blob = b"previous snapshot body " * 9
+    new_blob = b"replacement snapshot body " * 11
+
+    def seed(root):
+        SnapshotStore(str(root)).put_snapshot(DIGEST, 1, old_blob)
+
+    counting = CrashingFS()
+    counted_root = tmp_path / "count"
+    seed(counted_root)
+    SnapshotStore(str(counted_root), fs=counting).put_snapshot(DIGEST, 2, new_blob)
+    assert counting.ops, "the sweep below must cover at least one operation"
+
+    for torn in (False, True):
+        for crash_at in range(len(counting.ops)):
+            root = tmp_path / f"{'torn' if torn else 'clean'}-{crash_at}"
+            seed(root)
+            crashing = SnapshotStore(
+                str(root), fs=CrashingFS(crash_at=crash_at, torn=torn)
+            )
+            with pytest.raises(SimulatedCrash):
+                crashing.put_snapshot(DIGEST, 2, new_blob)
+            loaded = SnapshotStore(str(root)).load_snapshot(DIGEST)
+            assert loaded in ((1, old_blob), (2, new_blob))
+
+
+def test_first_snapshot_write_recovers_new_or_clean_miss(tmp_path):
+    blob = b"the only snapshot body " * 7
+
+    counting = CrashingFS()
+    SnapshotStore(str(tmp_path / "count"), fs=counting).put_snapshot(DIGEST, 1, blob)
+
+    for torn in (False, True):
+        for crash_at in range(len(counting.ops)):
+            root = tmp_path / f"{'torn' if torn else 'clean'}-{crash_at}"
+            crashing = SnapshotStore(
+                str(root), fs=CrashingFS(crash_at=crash_at, torn=torn)
+            )
+            with pytest.raises(SimulatedCrash):
+                crashing.put_snapshot(DIGEST, 1, blob)
+            recovered = SnapshotStore(str(root))
+            assert recovered.load_snapshot(DIGEST) in (None, (1, blob))
+
+
+def test_wal_append_preserves_prior_records_at_every_crash_point(tmp_path):
+    prior = [(1, ["+e(1,2)."]), (2, ["-e(1,2).", "+e(2,3)."])]
+    new_record = (3, ["+e(3,4).", "-e(0,1)."])
+
+    def seed(root):
+        store = SnapshotStore(str(root))
+        for version, lines in prior:
+            store.append_wal(DIGEST, version, lines)
+
+    counting = CrashingFS()
+    counted_root = tmp_path / "count"
+    seed(counted_root)
+    SnapshotStore(str(counted_root), fs=counting).append_wal(DIGEST, *new_record)
+
+    for torn in (False, True):
+        for crash_at in range(len(counting.ops)):
+            root = tmp_path / f"{'torn' if torn else 'clean'}-{crash_at}"
+            seed(root)
+            crashing = SnapshotStore(
+                str(root), fs=CrashingFS(crash_at=crash_at, torn=torn)
+            )
+            with pytest.raises(SimulatedCrash):
+                crashing.append_wal(DIGEST, *new_record)
+            recovered = SnapshotStore(str(root))
+            records, valid_bytes, torn_tail = recovered.load_wal(DIGEST)
+            assert records in (prior, prior + [new_record])
+            assert records[: len(prior)] == prior
+            if torn_tail:
+                # Repair truncates exactly the damage: a re-read is clean
+                # and byte-stable, with every prior record intact.
+                recovered.repair_wal(DIGEST, valid_bytes)
+                again, valid_again, torn_again = recovered.load_wal(DIGEST)
+                assert not torn_again
+                assert again == records
+                assert valid_again == valid_bytes
+
+
+def test_session_workload_crash_sweep_rehydrates_consistently(tmp_path):
+    """The end-to-end contract over a real session's durable workload.
+
+    Admission snapshot + per-update WAL appends, crashed at every
+    operation boundary: the reopened store must either rehydrate a
+    session at a version ``>=`` every acknowledged append (and its
+    answers must match a cold session at that exact version) or report a
+    clean miss — the latter only when the admission snapshot itself
+    never committed.
+    """
+    instance = generate_instance("chain", size=8, seed=5, delta_rounds=3)
+
+    def workload(store, progress):
+        """Counts *acknowledged* WAL appends in ``progress`` (a crash
+        propagates out of this function, so the count lives outside it)."""
+        session = ProvenanceSession(instance.query, instance.database.copy())
+        store.put_snapshot(DIGEST, session.version, session.snapshot_bytes())
+        store.reset_wal(DIGEST)
+        for delta in instance.deltas:
+            receipt = session.update(delta)
+            if receipt.effective.is_empty():
+                continue
+            store.append_wal(
+                DIGEST, receipt.version, delta_to_lines(receipt.effective)
+            )
+            progress["acked"] += 1
+        return session
+
+    # Reference run: answers at every version the workload passes through.
+    reference_progress = {"acked": 0}
+    workload(SnapshotStore(str(tmp_path / "reference")), reference_progress)
+    total_acked = reference_progress["acked"]
+    answers_by_version = {}
+    replay = ProvenanceSession(instance.query, instance.database.copy())
+    answers_by_version[replay.version] = replay.answers()
+    for delta in instance.deltas:
+        replay.update(delta)
+        answers_by_version[replay.version] = replay.answers()
+    assert total_acked > 0, "the generated instance must exercise the WAL"
+
+    counting = CrashingFS()
+    workload(SnapshotStore(str(tmp_path / "count"), fs=counting), {"acked": 0})
+    assert len(counting.ops) > 6
+
+    for torn in (False, True):
+        for crash_at in range(len(counting.ops)):
+            root = tmp_path / f"{'torn' if torn else 'clean'}-{crash_at}"
+            progress = {"acked": 0}
+            try:
+                workload(
+                    SnapshotStore(
+                        str(root), fs=CrashingFS(crash_at=crash_at, torn=torn)
+                    ),
+                    progress,
+                )
+            except SimulatedCrash:
+                pass
+            acked = progress["acked"]
+            session = SnapshotStore(str(root)).rehydrate(DIGEST)
+            if session is None:
+                # A miss is only clean while nothing was ever acknowledged
+                # durable — i.e. the admission snapshot never committed.
+                assert acked == 0
+            else:
+                assert acked <= session.version <= acked + 1
+                assert session.stats.evaluations == 1
+                assert session.answers() == answers_by_version[session.version]
+
+
+# -- hypothesis: the same invariants over generated inputs ---------------------
+
+wal_lines = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=24
+    ),
+    max_size=3,
+)
+
+
+@given(
+    records=st.lists(wal_lines, min_size=1, max_size=5),
+    crash_at=st.integers(min_value=0, max_value=40),
+    torn=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_wal_crash_property(records, crash_at, torn):
+    """Salvage = the completed appends, plus at most the in-flight one."""
+    root = tempfile.mkdtemp(prefix="repro-wal-prop-")
+    try:
+        store = SnapshotStore(root, fs=CrashingFS(crash_at=crash_at, torn=torn))
+        completed = 0
+        try:
+            for version, lines in enumerate(records, start=1):
+                store.append_wal(DIGEST, version, lines)
+                completed += 1
+        except SimulatedCrash:
+            pass
+        recovered = SnapshotStore(root)
+        salvaged, valid_bytes, torn_tail = recovered.load_wal(DIGEST)
+        expected = [(v, list(lines)) for v, lines in enumerate(records, start=1)]
+        assert salvaged in (expected[:completed], expected[: completed + 1])
+        if torn_tail:
+            recovered.repair_wal(DIGEST, valid_bytes)
+            again, valid_again, torn_again = recovered.load_wal(DIGEST)
+            assert not torn_again
+            assert again == salvaged
+            assert valid_again == valid_bytes
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@given(
+    blobs=st.lists(st.binary(min_size=0, max_size=160), min_size=1, max_size=3),
+    crash_at=st.integers(min_value=0, max_value=30),
+    torn=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_snapshot_crash_property(blobs, crash_at, torn):
+    """The visible snapshot is always a whole one the caller wrote."""
+    root = tempfile.mkdtemp(prefix="repro-snap-prop-")
+    try:
+        store = SnapshotStore(root, fs=CrashingFS(crash_at=crash_at, torn=torn))
+        completed = 0
+        try:
+            for version, blob in enumerate(blobs, start=1):
+                store.put_snapshot(DIGEST, version, blob)
+                completed += 1
+        except SimulatedCrash:
+            pass
+        loaded = SnapshotStore(root).load_snapshot(DIGEST)
+        if loaded is None:
+            assert completed == 0
+        else:
+            version, blob = loaded
+            assert version in (completed, completed + 1)
+            assert blob == blobs[version - 1]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
