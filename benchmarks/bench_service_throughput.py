@@ -22,9 +22,16 @@ database is admitted, and three things are measured:
   admission (now also paying the snapshot write) and a WAL'd update
   burst, then a hard stop and a restart on the same directory, timing
   the rehydrating ``open`` against the cold one — the number that
-  justifies the durable tier (``docs/PERSISTENCE.md``).
+  justifies the durable tier (``docs/PERSISTENCE.md``);
+* **sharding** — the same request pool against ``serve --workers N``
+  for each point of ``REPRO_BENCH_SERVICE_WORKERS`` (default ``1,4``):
+  one session *per client* (distinct digests, so consistent hashing
+  spreads them over the pool) and the aggregate req/s per worker count.
+  Cross-session requests don't share a per-session lock, so on a
+  multi-core host the curve bends upward with workers; the recorded
+  ``cores`` field says whether this host could show that at all.
 
-Emits ``BENCH_service_throughput.json`` with all four sections.
+Emits ``BENCH_service_throughput.json`` with all five sections.
 """
 
 import os
@@ -37,7 +44,11 @@ import time
 from repro.datalog.io import database_to_text, program_to_text
 from repro.harness.runner import sample_from_answers
 from repro.scenarios import get_scenario
-from repro.service.client import ServiceClient, local_service
+from repro.service.client import (
+    ServiceClient,
+    local_service,
+    local_sharded_service,
+)
 
 from _common import (
     BENCH_MEMBERS,
@@ -60,6 +71,12 @@ SERVICE_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "48"))
 SERVICE_TUPLES = int(os.environ.get("REPRO_BENCH_SERVICE_TUPLES", "8"))
 #: Updates in the storm phase.
 SERVICE_UPDATES = int(os.environ.get("REPRO_BENCH_SERVICE_UPDATES", "6"))
+#: Worker-count ladder for the sharding section (1 = single-process).
+SERVICE_WORKERS = [
+    int(part)
+    for part in os.environ.get("REPRO_BENCH_SERVICE_WORKERS", "1,4").split(",")
+    if part.strip()
+]
 
 
 def _throughput_point(address, digest, tuples, clients):
@@ -171,6 +188,9 @@ def _run_service_benchmark():
     restart = _run_restart_recovery(
         program_text, database_text, query.answer_predicate, scenario.name
     )
+    sharding = _run_sharding_benchmark(
+        program_text, database_text, query.answer_predicate, scenario.name
+    )
 
     return {
         "scenario": scenario.name,
@@ -196,7 +216,116 @@ def _run_service_benchmark():
             "evaluations_after_storm": stats["session_stats"]["evaluations"],
         },
         "restart_recovery": restart,
+        "sharding": sharding,
     }
+
+
+def _multi_session_point(address, sessions):
+    """One thread per session, each on its own connection; aggregate req/s.
+
+    Unlike :func:`_throughput_point` the sessions are *distinct digests*,
+    so in a sharded daemon they live on different workers and nothing
+    serializes server-side except genuine compute.
+    """
+    clients = len(sessions)
+    per_client = max(1, SERVICE_REQUESTS // clients)
+    errors = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(digest, tuples):
+        try:
+            with ServiceClient(host=address[0], port=address[1]) as mine:
+                barrier.wait()
+                for index in range(per_client):
+                    tup = tuples[index % len(tuples)]
+                    response = mine.why(
+                        digest, tup, limit=BENCH_MEMBERS, timeout=BENCH_TIMEOUT
+                    )
+                    if not response["ok"]:  # pragma: no cover - would be a bug
+                        errors.append(response)
+        except Exception as exc:
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=session) for session in sessions
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        barrier.wait()
+    except threading.BrokenBarrierError:
+        pass
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    assert not errors, errors[:3]
+    total = per_client * clients
+    return {
+        "clients": clients,
+        "requests": total,
+        "seconds": seconds,
+        "requests_per_second": total / seconds if seconds else 0.0,
+    }
+
+
+def _run_sharding_benchmark(program_text, database_text, answer, scenario_name):
+    """Aggregate req/s per worker count, one session per client."""
+    n_clients = max(max(SERVICE_WORKERS), 2)
+    points = []
+    for workers in SERVICE_WORKERS:
+        if workers <= 1:
+            context = local_service(threads=n_clients + 2)
+        else:
+            context = local_sharded_service(
+                workers=workers, worker_threads=n_clients + 2
+            )
+        with context as client:
+            sessions = []
+            owners = set()
+            for index in range(n_clients):
+                # A unique extra fact gives each client its own digest —
+                # and therefore, under sharding, its own worker.
+                text = f"{database_text}\n{_shard_fact(scenario_name, index)}."
+                digest = client.open(program_text, text, answer)["session"]
+                answers = [
+                    tuple(values)
+                    for values in client.answers(digest)["result"]["answers"]
+                ]
+                tuples = sample_from_answers(answers, count=4, seed=7)
+                for tup in tuples:  # prime the per-fact caches
+                    client.why(digest, tup, limit=BENCH_MEMBERS, timeout=BENCH_TIMEOUT)
+                if workers > 1:
+                    owners.add(client.stats(digest)["result"]["shard"]["slot"])
+                sessions.append((digest, tuples))
+            point = _multi_session_point(client.address, sessions)
+        point["workers"] = workers
+        if workers > 1:
+            point["distinct_shards_used"] = len(owners)
+        points.append(point)
+
+    baseline = next(
+        (p for p in points if p["workers"] == 1), points[0]
+    )
+    best = max(points, key=lambda p: p["workers"])
+    return {
+        "workers_ladder": SERVICE_WORKERS,
+        "clients": n_clients,
+        "cores": os.cpu_count(),
+        "points": points,
+        "speedup_at_max_workers": (
+            best["requests_per_second"] / baseline["requests_per_second"]
+            if baseline["requests_per_second"]
+            else 0.0
+        ),
+    }
+
+
+def _shard_fact(scenario_name, index):
+    if scenario_name == "TransClosure":
+        return f"e(shard{index}_a, shard{index}_b)"
+    return f"addressof(shard{index}_a, shard{index}_b)"
 
 
 def _run_restart_recovery(program_text, database_text, answer, scenario_name):
@@ -293,6 +422,16 @@ def test_service_throughput(benchmark, capsys):
             f"{restart['wal_updates_replayed']} WAL updates replayed, "
             f"{restart['state_dir_bytes']} bytes on disk)"
         )
+        sharding = payload["sharding"]
+        print(
+            f"sharding ({sharding['clients']} clients, "
+            f"{sharding['cores']} cores): "
+            + ", ".join(
+                f"{p['workers']}w={p['requests_per_second']:.1f} req/s"
+                for p in sharding["points"]
+            )
+            + f" — {sharding['speedup_at_max_workers']:.2f}x at max workers"
+        )
         path = write_bench_json("service_throughput", payload)
         print(f"machine-readable record: {path}")
     # The acceptance shape: at least two concurrency points, all served.
@@ -301,3 +440,13 @@ def test_service_throughput(benchmark, capsys):
     assert payload["update_storm"]["evaluations_after_storm"] == 1
     assert payload["restart_recovery"]["evaluations_after_restart"] == 1
     assert payload["restart_recovery"]["rehydrate_seconds"] > 0
+    sharding = payload["sharding"]
+    assert all(p["requests_per_second"] > 0 for p in sharding["points"])
+    for point in sharding["points"]:
+        if point["workers"] > 1:
+            # Distinct digests really did land on distinct workers.
+            assert point["distinct_shards_used"] >= 2
+    # Throughput bending upward with workers needs actual cores; a
+    # single-core host records the curve but cannot assert scaling.
+    if (os.cpu_count() or 1) >= 2 and max(SERVICE_WORKERS) > 1:
+        assert sharding["speedup_at_max_workers"] > 1.0, sharding

@@ -56,6 +56,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from .baselines.souffle_style import explain_answer
@@ -548,6 +549,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        return _cmd_serve_sharded(args)
     from .service.registry import SessionRegistry
     from .service.server import ProvenanceService, TCPServiceServer, serve_stdio
 
@@ -559,12 +562,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     registry = SessionRegistry(
         max_sessions=args.max_sessions,
         max_bytes=args.max_bytes if args.max_bytes > 0 else None,
+        method=args.method,
+        acyclicity=args.acyclicity,
         store=store,
     )
     service = ProvenanceService(
         registry=registry,
         threads=args.threads,
-        batch_workers=args.workers,
+        batch_workers=args.batch_workers,
         parallel_threshold=args.parallel_threshold,
         max_batch_tuples=args.max_batch,
     )
@@ -574,7 +579,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         finally:
             service.close()
     server = TCPServiceServer(service, host=args.host, port=args.port)
-    # Stderr, flushed: scripts binding port 0 read the ephemeral port here.
+    # Stderr, flushed: scripts binding port 0 read the ephemeral port here
+    # (the shard supervisor discovers its workers' ports the same way).
     print(
         f"% repro service listening on {server.host}:{server.port}",
         file=sys.stderr,
@@ -587,6 +593,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         service.close()
+    return 0
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """``serve --workers N`` (N > 1): the multi-process sharded daemon."""
+    from .service.shard import ShardedServiceServer
+
+    if args.stdio:
+        print("% --stdio serves one client in-process; use --workers 1", file=sys.stderr)
+        return 2
+    state_dir = args.state_dir if args.state_dir and not args.no_persist else None
+    server = ShardedServiceServer(
+        args.workers,
+        host=args.host,
+        port=args.port,
+        state_dir=state_dir,
+        worker_threads=args.threads,
+        batch_workers=args.batch_workers,
+        parallel_threshold=args.parallel_threshold,
+        max_batch=args.max_batch,
+        max_sessions=args.max_sessions,
+        max_bytes=args.max_bytes,  # workers map 0 to unbounded themselves
+        method=args.method,
+        acyclicity=args.acyclicity,
+    )
+    try:
+        server.start()
+        # The same stderr contract as the single-process daemon, so
+        # scripts (and the supervisor itself, one level down) need only
+        # one port-discovery recipe.
+        print(
+            f"% repro service listening on {server.host}:{server.port} "
+            f"({args.workers} workers)",
+            file=sys.stderr,
+            flush=True,
+        )
+        # Exit when a client's shutdown request lands, like the
+        # single-process daemon does; poll so Ctrl-C stays responsive.
+        while not server.stopped.wait(timeout=1.0):
+            pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -772,7 +822,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--paths",
         default="cold,warm,parallel,incremental,service",
         help="comma-separated execution paths to diff (first is the "
-        "reference); 'restart' adds the crash/restart durability path",
+        "reference); 'restart' adds the crash/restart durability path, "
+        "'sharded' the multi-process daemon (--workers 2)",
     )
     p_fuzz.add_argument(
         "--limit", type=int, default=4, help="witnesses per tuple (default: 4)"
@@ -877,8 +928,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker processes for large batch requests "
+        help="shard worker processes: 1 (default) serves single-process, "
+        "N > 1 starts the sharded daemon — an async front-end routing "
+        "sessions to N supervised worker processes by content digest",
+    )
+    p_serve.add_argument(
+        "--batch-workers",
+        type=int,
+        default=1,
+        help="forked processes per worker for large batch requests "
         "(default: 1, serial; 0 = one per core)",
+    )
+    p_serve.add_argument(
+        "--method",
+        choices=["seminaive", "naive"],
+        default="seminaive",
+        help="evaluation method baked into sessions and their digests "
+        "(default: seminaive)",
+    )
+    p_serve.add_argument(
+        "--acyclicity",
+        choices=["vertex-elimination", "transitive-closure"],
+        default="vertex-elimination",
+        help="acyclicity encoding baked into sessions and their digests "
+        "(default: vertex-elimination)",
     )
     p_serve.add_argument(
         "--parallel-threshold",

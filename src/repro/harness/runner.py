@@ -350,6 +350,7 @@ def run_database(
     deltas: Optional[Sequence[Delta]] = None,
     service=None,
     state_dir: Optional[str] = None,
+    shards: int = 1,
     engine: Optional[str] = None,
 ) -> DatabaseRun:
     """Run the full per-database experiment of Section 5.3.
@@ -390,6 +391,12 @@ def run_database(
     snapshotted and WAL-tracked on disk, so a second ``run_database``
     over the same ``state_dir`` rehydrates instead of re-evaluating —
     the harness-level restart-warm workflow.
+
+    ``shards`` (with ``service=True``) makes the private daemon the
+    *sharded* one: ``shards`` real worker processes behind the async
+    router (``serve --workers N``), every request consistent-hash-routed
+    by content digest — and still byte-identical to the in-process path,
+    which is exactly what the sharded round-trip tests assert.
     """
     query = scenario.query()
     database = scenario.database(database_name)
@@ -405,6 +412,17 @@ def run_database(
                 "service routing requires the session path (use_session=True)"
             )
         if service is True:
+            if shards > 1:
+                from ..service.client import local_sharded_service
+
+                with local_sharded_service(
+                    workers=shards, state_dir=state_dir, acyclicity=acyclicity
+                ) as client:
+                    return _run_database_via_service(
+                        client, scenario, database_name, query, database,
+                        tuples_per_database, member_limit, timeout_seconds,
+                        seed, workers, deltas,
+                    )
             from ..service.client import local_service
             from ..service.registry import SessionRegistry
 
@@ -422,6 +440,13 @@ def run_database(
                     tuples_per_database, member_limit, timeout_seconds,
                     seed, workers, deltas,
                 )
+        if shards > 1:
+            # A connected client's daemon already has its own topology;
+            # a shards request against it would be silently meaningless.
+            raise ValueError(
+                "shards > 1 requires a private daemon (service=True); "
+                "a connected client's daemon controls its own --workers"
+            )
         if state_dir is not None:
             # An already-running daemon has its own persistence config;
             # silently ignoring the flag would fake durability.
@@ -447,6 +472,11 @@ def run_database(
         raise ValueError(
             "state_dir requires service routing (service=True); the "
             "in-process session path has no durable tier"
+        )
+    if shards > 1:
+        raise ValueError(
+            "shards > 1 requires service routing (service=True); the "
+            "in-process session path has no worker pool to shard over"
         )
     if workers != 1 and not use_session:
         # Refuse rather than silently running serial: the BENCH_*.json

@@ -15,29 +15,46 @@ view maintenance) into one serving stack:
   ``batch`` / ``update`` / ``stats`` and friends);
 * :mod:`repro.service.server` — the dispatcher plus TCP and stdio
   transports (``python -m repro serve``);
+* :mod:`repro.service.shard` — the multi-process tier
+  (``python -m repro serve --workers N``): an async NDJSON front-end
+  routing sessions to supervised worker processes by consistent-hashed
+  content digest, byte-identical to the single-process daemon;
 * :mod:`repro.service.client` — the synchronous client
-  (``python -m repro client``) and the :func:`local_service` fixture.
+  (``python -m repro client``) and the :func:`local_service` /
+  :func:`local_sharded_service` fixtures.
 
 See ``docs/SERVICE.md`` for the protocol reference and a worked
 walkthrough.
 """
 
-from .client import ServiceClient, local_service, parse_address
+from .client import (
+    ServiceClient,
+    local_service,
+    local_sharded_service,
+    parse_address,
+)
 from .protocol import OPS, PROTOCOL_VERSION, ServiceError
-from .registry import SessionEntry, SessionRegistry, content_digest
+from .registry import SessionEntry, SessionRegistry, content_digest, routing_digest
 from .server import ProvenanceService, TCPServiceServer, serve_stdio
+from .shard import HashRing, ShardedServiceServer, WorkerSupervisor, worker_slots
 
 __all__ = [
     "OPS",
     "PROTOCOL_VERSION",
+    "HashRing",
     "ProvenanceService",
     "ServiceClient",
     "ServiceError",
     "SessionEntry",
     "SessionRegistry",
+    "ShardedServiceServer",
     "TCPServiceServer",
+    "WorkerSupervisor",
     "content_digest",
     "local_service",
+    "local_sharded_service",
     "parse_address",
+    "routing_digest",
     "serve_stdio",
+    "worker_slots",
 ]

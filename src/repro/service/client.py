@@ -317,3 +317,55 @@ def local_service(
             server.shutdown()
             server.server_close()
         service.close()
+
+
+@contextmanager
+def local_sharded_service(
+    workers: int = 2,
+    *,
+    state_dir: Optional[str] = None,
+    worker_threads: Optional[int] = None,
+    batch_workers: int = 1,
+    parallel_threshold: Optional[int] = None,
+    max_batch: Optional[int] = None,
+    max_sessions: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+    method: str = "seminaive",
+    acyclicity: str = "vertex-elimination",
+    spawn_timeout: float = 60.0,
+) -> Iterator[ServiceClient]:
+    """A sharded daemon (*workers* real processes) behind one client.
+
+    The multi-process sibling of :func:`local_service`: starts a
+    :class:`~repro.service.shard.ShardedServiceServer` — an async NDJSON
+    front-end routing by content digest to ``workers`` supervised
+    single-process daemons — yields a connected :class:`ServiceClient`,
+    and tears the whole pool down on exit. Same wire protocol, same
+    bytes (the byte-identity tests run the same assertions through
+    both); ``state_dir`` is shared by the pool, safe because consistent
+    hashing gives every digest exactly one owning worker.
+    """
+    from .shard import ShardedServiceServer
+
+    server = ShardedServiceServer(
+        workers,
+        state_dir=state_dir,
+        worker_threads=worker_threads,
+        batch_workers=batch_workers,
+        parallel_threshold=parallel_threshold,
+        max_batch=max_batch,
+        max_sessions=max_sessions,
+        max_bytes=max_bytes,
+        method=method,
+        acyclicity=acyclicity,
+        spawn_timeout=spawn_timeout,
+    )
+    client = None
+    try:
+        server.start()
+        client = ServiceClient(host=server.host, port=server.port)
+        yield client
+    finally:
+        if client is not None:
+            client.close()
+        server.close()

@@ -76,8 +76,12 @@ OPS = (
 #: line (not valid JSON), ``program-error`` a Datalog text that does not
 #: parse, ``bad-request`` a structurally valid request with bad fields,
 #: ``unknown-session`` a digest the registry no longer holds (evicted or
-#: never admitted — re-send the texts to re-admit), ``connection-closed``
-#: is raised client-side when the server goes away mid-call.
+#: never admitted — re-send the texts to re-admit), ``worker-failure`` a
+#: sharded daemon's worker process dying while this request was on it
+#: (the supervisor restarts the worker; idempotent requests are retried
+#: transparently, so clients normally only see this for an ``update``
+#: whose commit status is unknowable), ``connection-closed`` is raised
+#: client-side when the server goes away mid-call.
 ERROR_CODES = (
     "bad-request",
     "connection-closed",
@@ -86,6 +90,7 @@ ERROR_CODES = (
     "program-error",
     "unknown-op",
     "unknown-session",
+    "worker-failure",
 )
 
 
@@ -100,6 +105,47 @@ class ServiceError(Exception):
     def as_response(self, request_id=None) -> Dict:
         """The failure as a wire response object."""
         return error_response(request_id, self.code, self.message)
+
+
+def unknown_op_message(op) -> str:
+    """The canonical ``unknown-op`` message for *op*.
+
+    Shared by the single-process dispatcher and the sharded front-end so
+    an unroutable request draws a byte-identical error from either.
+    """
+    known = ", ".join(sorted(OPS))
+    return f"unknown op {op!r}; known: {known}"
+
+
+def session_address(request: Dict):
+    """How a request addresses its session: digest or inline texts.
+
+    Returns ``(digest, None)`` when the request carries a ``session``
+    digest, or ``(None, (program, database, answer))`` when it carries
+    inline texts, raising the canonical ``bad-request``
+    :class:`ServiceError` otherwise. This is the single source of truth
+    for session addressing — the in-process dispatcher resolves the
+    result against its registry, the sharded front-end uses it to pick
+    the owning worker — so both reject malformed addressing with
+    byte-identical errors.
+    """
+    digest = request.get("session")
+    if digest is not None:
+        if not isinstance(digest, str):
+            raise ServiceError("bad-request", "'session' must be a string digest")
+        return digest, None
+    program = request.get("program")
+    database = request.get("database")
+    if not isinstance(program, str) or not isinstance(database, str):
+        raise ServiceError(
+            "bad-request",
+            "request needs either a 'session' digest or inline "
+            "'program' and 'database' texts",
+        )
+    answer = request.get("answer")
+    if answer is not None and not isinstance(answer, str):
+        raise ServiceError("bad-request", "'answer' must be a string")
+    return None, (program, database, answer)
 
 
 def decode_request(line: str) -> Dict:

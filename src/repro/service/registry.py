@@ -187,6 +187,27 @@ def content_digest(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
+def routing_digest(
+    program_text: str,
+    database_text: str,
+    answer: Optional[str] = None,
+    method: str = "seminaive",
+    acyclicity: str = "vertex-elimination",
+) -> str:
+    """The digest the given wire texts admit under: canonicalize + hash.
+
+    The sharded front-end routes inline-text requests with this — it has
+    no registry of its own, but must compute *exactly* the address the
+    owning worker's registry will admit under, so the same ``method`` /
+    ``acyclicity`` knobs the workers were spawned with have to be passed
+    here. Raises the same canonical errors as admission would
+    (``program-error`` / ``bad-request``), which is what makes routing
+    failures byte-identical to single-process failures.
+    """
+    query, database, _ = canonicalize_query(program_text, database_text, answer)
+    return content_digest(query, database, method, acyclicity)
+
+
 class SessionRegistry:
     """Content-addressed LRU registry of live provenance sessions.
 
@@ -246,8 +267,9 @@ class SessionRegistry:
         answer: Optional[str] = None,
     ) -> str:
         """The digest the given wire texts would be admitted under."""
-        query, database, _ = canonicalize_query(program_text, database_text, answer)
-        return content_digest(query, database, self.method, self.acyclicity)
+        return routing_digest(
+            program_text, database_text, answer, self.method, self.acyclicity
+        )
 
     # -- admission / lookup --------------------------------------------------
 

@@ -52,7 +52,9 @@ from .protocol import (
     ok_response,
     render_member,
     render_members,
+    session_address,
     tuple_from_json,
+    unknown_op_message,
 )
 from .registry import SessionEntry, SessionRegistry
 
@@ -195,8 +197,7 @@ class ProvenanceService:
         op = request.get("op")
         try:
             if not isinstance(op, str) or op not in self._HANDLERS:
-                known = ", ".join(sorted(self._HANDLERS))
-                raise ServiceError("unknown-op", f"unknown op {op!r}; known: {known}")
+                raise ServiceError("unknown-op", unknown_op_message(op))
             response = getattr(self, "_op_" + op)(request)
         except ServiceError as exc:
             response = exc.as_response(request_id)
@@ -216,22 +217,10 @@ class ProvenanceService:
 
     def _entry_for(self, request: Dict) -> Tuple[SessionEntry, bool]:
         """Resolve the session a request addresses (digest or inline texts)."""
-        digest = request.get("session")
+        digest, texts = session_address(request)
         if digest is not None:
-            if not isinstance(digest, str):
-                raise ServiceError("bad-request", "'session' must be a string digest")
             return self.registry.get(digest), False
-        program = request.get("program")
-        database = request.get("database")
-        if not isinstance(program, str) or not isinstance(database, str):
-            raise ServiceError(
-                "bad-request",
-                "request needs either a 'session' digest or inline "
-                "'program' and 'database' texts",
-            )
-        answer = request.get("answer")
-        if answer is not None and not isinstance(answer, str):
-            raise ServiceError("bad-request", "'answer' must be a string")
+        program, database, answer = texts
         return self.registry.acquire(program, database, answer)
 
     # -- operations ------------------------------------------------------------
@@ -508,6 +497,10 @@ class ProvenanceService:
         result = self.registry.stats()
         result["protocol"] = PROTOCOL_VERSION
         result["uptime_seconds"] = time.time() - self.started_at
+        # A single-process daemon has no shard layer; the sharded
+        # front-end replaces this with its worker table, so clients can
+        # always read result["sharding"] to tell the two apart.
+        result["sharding"] = None
         with self._counter_lock:
             result["requests_served"] = self.requests_served
         digest = request.get("session")

@@ -45,6 +45,20 @@ replaced into place **before** the WAL is reset, so a crash between the
 two leaves a newer snapshot plus a fully-covered WAL (correct), never a
 reset WAL guarding an old snapshot (stale).
 
+Multi-process sharing
+---------------------
+
+A sharded daemon (``serve --workers N``) points every worker at the
+*same* ``--state-dir``. That is safe without file locking because the
+router's consistent-hash ring gives each content digest exactly one
+owning worker at a time — a single writer per digest directory — and
+every cross-digest operation here is already atomic (temp file +
+``os.replace``; ``makedirs(exist_ok=True)``). The store doubles as the
+restart handoff: when the supervisor respawns a crashed worker, the
+replacement rehydrates the digests it owns from disk instead of
+re-evaluating (see :mod:`repro.service.shard` and
+``tests/test_shard_chaos.py``).
+
 Fault injection
 ---------------
 

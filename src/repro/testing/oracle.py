@@ -1,7 +1,7 @@
-"""The cross-stack differential oracle: six execution paths, one answer.
+"""The cross-stack differential oracle: seven execution paths, one answer.
 
-The library serves why-provenance through six distinct machines that are
-all contractually byte-identical:
+The library serves why-provenance through seven distinct machines that
+are all contractually byte-identical:
 
 * ``cold`` — a fresh :class:`~repro.core.session.ProvenanceSession` per
   database state, every tuple served through cold caches;
@@ -17,7 +17,11 @@ all contractually byte-identical:
 * ``restart`` — a daemon with a durable state dir, hard-stopped halfway
   through the delta sequence and restarted on the same directory; the
   second incarnation must rehydrate the session from its snapshot + WAL
-  (never re-evaluate) and keep serving byte-identical observations.
+  (never re-evaluate) and keep serving byte-identical observations;
+* ``sharded`` — the multi-process daemon (``serve --workers 2``): an
+  async front-end routing by consistent-hashed content digest to real
+  worker subprocesses, which must be indistinguishable on the wire from
+  the single-process ``service`` path.
 
 :func:`run_oracle` drives one generated instance
 (:class:`~repro.scenarios.synthetic.SyntheticInstance`) through every
@@ -49,11 +53,21 @@ from ..service.protocol import render_members
 
 #: Every execution path the oracle can drive, in reference order: the
 #: first configured path is the baseline the others are diffed against.
-ALL_PATHS = ("cold", "warm", "parallel", "incremental", "service", "restart")
+ALL_PATHS = (
+    "cold",
+    "warm",
+    "parallel",
+    "incremental",
+    "service",
+    "restart",
+    "sharded",
+)
 
-#: The default path set: everything but ``restart``, which spins up two
-#: daemon incarnations per instance and earns its keep in the dedicated
-#: fuzz step (``--paths cold,restart``) rather than in every quick run.
+#: The default path set: everything but ``restart`` (two daemon
+#: incarnations per instance) and ``sharded`` (a pool of worker
+#: subprocesses per instance) — both earn their keep in dedicated fuzz
+#: steps (``--paths cold,restart`` / ``--paths cold,sharded``) rather
+#: than in every quick run.
 DEFAULT_PATHS = ("cold", "warm", "parallel", "incremental", "service")
 
 
@@ -72,6 +86,9 @@ class OracleConfig:
     tuples_per_state: int = 3
     sample_seed: int = 7
     workers: int = 2
+    #: Worker processes for the ``sharded`` path's daemon (>= 2, so the
+    #: router genuinely routes instead of degenerating to one shard).
+    shard_workers: int = 2
     timeout_seconds: Optional[float] = None
     acyclicity: str = "vertex-elimination"
 
@@ -383,6 +400,32 @@ def _run_restart(instance: SyntheticInstance, config: OracleConfig) -> List[str]
         shutil.rmtree(state_dir, ignore_errors=True)
 
 
+def _run_sharded(instance: SyntheticInstance, config: OracleConfig) -> List[str]:
+    """The multi-process path: same loop as ``service``, over the router.
+
+    Every request crosses the async front-end, gets routed by content
+    digest to one of ``config.shard_workers`` worker subprocesses, and
+    must come back byte-identical to what the single-process daemon
+    would have sent.
+    """
+    from ..service.client import local_sharded_service
+
+    with local_sharded_service(
+        workers=max(2, config.shard_workers), acyclicity=config.acyclicity
+    ) as client:
+        opened = client.open(
+            instance.program_text(),
+            instance.database_text(),
+            instance.query.answer_predicate,
+        )
+        digest = opened["session"]
+        texts = [_observe_wire_state(client, digest, config)]
+        for lines in instance.delta_lines():
+            client.update(digest, lines=lines)
+            texts.append(_observe_wire_state(client, digest, config))
+    return texts
+
+
 _PATH_RUNNERS: Dict[str, Callable[[SyntheticInstance, OracleConfig], List[str]]] = {
     "cold": _run_cold,
     "warm": _run_warm,
@@ -390,6 +433,7 @@ _PATH_RUNNERS: Dict[str, Callable[[SyntheticInstance, OracleConfig], List[str]]]
     "incremental": _run_incremental,
     "service": _run_service,
     "restart": _run_restart,
+    "sharded": _run_sharded,
 }
 
 

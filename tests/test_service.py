@@ -3,10 +3,17 @@
 Four layers, innermost first: the wire protocol helpers, the
 content-addressed session registry (admission, LRU eviction, byte
 budget), the transport-independent dispatcher (every operation, in
-process), and the real TCP stack (`local_service`) — including the
-concurrency contract: threaded clients hammering one session, interleaved
-``update`` / ``why`` traffic attributed by version stamps, and
-eviction / re-admission round-trips over the wire.
+process), and the real TCP stack — including the concurrency contract:
+threaded clients hammering one session, interleaved ``update`` / ``why``
+traffic attributed by version stamps, and eviction / re-admission
+round-trips over the wire.
+
+The wire-level tests are written against the *public protocol only*
+(the stats op instead of in-process registry peeking), which lets the
+same assertions run parametrized over both daemon topologies:
+``single`` (one process, ``local_service``) and ``sharded`` (an async
+router over real worker processes, ``local_sharded_service``). Anything
+the contract promises must hold identically in both.
 """
 
 import json
@@ -14,6 +21,7 @@ import socket
 import struct
 import threading
 import time
+from contextlib import contextmanager
 
 import pytest
 
@@ -21,7 +29,12 @@ from repro.core.session import ProvenanceSession
 from repro.datalog.database import Database
 from repro.datalog.parser import parse_database, parse_program
 from repro.datalog.program import DatalogQuery
-from repro.service.client import ServiceClient, local_service, parse_address
+from repro.service.client import (
+    ServiceClient,
+    local_service,
+    local_sharded_service,
+    parse_address,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ServiceError,
@@ -50,6 +63,27 @@ def make_session() -> ProvenanceSession:
 def chain_db(n: int) -> str:
     """A path graph a0 -> a1 -> ... -> an as database text."""
     return " ".join(f"e(x{i}, x{i + 1})." for i in range(n))
+
+
+#: The two daemon topologies every wire-contract test must satisfy.
+WIRE_MODES = ("single", "sharded")
+
+
+@contextmanager
+def wire_service(mode: str, threads: int = 4):
+    """A connected client against the requested daemon topology.
+
+    ``single`` is the in-process TCP daemon; ``sharded`` is the
+    multi-process one — an async front-end routing to two supervised
+    worker subprocesses. The yielded client speaks the same protocol to
+    both, which is the whole point of parametrizing over this.
+    """
+    if mode == "sharded":
+        with local_sharded_service(workers=2, worker_threads=threads) as client:
+            yield client
+    else:
+        with local_service(threads=threads) as client:
+            yield client
 
 
 class TestProtocol:
@@ -482,12 +516,19 @@ class TestDispatcher:
             assert response["error"]["code"] == "bad-request"
 
 
+@pytest.mark.parametrize("mode", WIRE_MODES)
 class TestWire:
-    """The same contracts through a real TCP socket."""
+    """The same contracts through a real TCP socket, in both topologies.
 
-    def test_byte_identity_over_the_wire(self):
+    Every test here runs twice — against the single-process daemon and
+    against the sharded multi-process one — asserting only what the
+    public protocol promises (responses, version stamps, the stats op),
+    never process internals.
+    """
+
+    def test_byte_identity_over_the_wire(self, mode):
         session = make_session()
-        with local_service() as client:
+        with wire_service(mode) as client:
             opened = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")
             digest = opened["session"]
             for tup in session.answers():
@@ -499,8 +540,8 @@ class TestWire:
                 render_members(r.members) for r in local.results
             ]
 
-    def test_pipelined_requests_match_ids(self):
-        with local_service() as client:
+    def test_pipelined_requests_match_ids(self, mode):
+        with wire_service(mode) as client:
             opened = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")
             digest = opened["session"]
             for index in range(5):
@@ -509,16 +550,19 @@ class TestWire:
                 )
                 assert response["id"] == 1000 + index and response["ok"]
 
-    def test_threaded_clients_hammer_one_session(self):
+    def test_threaded_clients_hammer_one_session(self, mode):
         # N threads x M why-requests against one warm session: every
         # response identical, the session still evaluated exactly once
-        # (the per-session lock made the concurrent cache fills safe).
+        # (the per-session lock — on whichever process owns the session —
+        # made the concurrent cache fills safe). Asserted through the
+        # public stats op, so the same check holds when the session
+        # lives on a shard worker rather than in this process.
         session = make_session()
         expected = {
             tup: render_members(session.why(tup)) for tup in session.answers()
         }
         failures = []
-        with local_service(threads=4) as client:
+        with wire_service(mode) as client:
             digest = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")["session"]
 
             def hammer():
@@ -541,7 +585,7 @@ class TestWire:
             assert stats["session_stats"]["evaluations"] == 1
         assert failures == []
 
-    def test_interleaved_update_and_why_version_consistency(self):
+    def test_interleaved_update_and_why_version_consistency(self, mode):
         # One writer toggles e(c, d); readers hammer why(a, d). Version
         # stamps let every response be attributed to a database state:
         # odd version => the edge exists => two witnesses through it;
@@ -554,7 +598,7 @@ class TestWire:
         with_edge.update(Delta.insert(Atom("e", ("c", "d"))))
         expected_odd = render_members(with_edge.why(("a", "d")))
         failures = []
-        with local_service(threads=4) as client:
+        with wire_service(mode) as client:
             digest = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")["session"]
             port = client.address[1]
             stop = threading.Event()
@@ -594,13 +638,36 @@ class TestWire:
             assert final["result"]["members"] == []
         assert failures == []
 
-    def test_eviction_and_readmission_over_the_wire(self):
-        registry = SessionRegistry(max_sessions=2, max_bytes=None)
-        with local_service(registry=registry) as client:
+    def test_eviction_and_readmission_over_the_wire(self, mode):
+        if mode == "sharded":
+            # Eviction happens per worker, so the two evicting sessions
+            # must land on the *same shard* as the first. Routing is a
+            # pure function of content digest and slot names, so the
+            # co-located databases can be computed up front — which is
+            # itself a test of the routing rule's determinism.
+            from repro.service.registry import routing_digest
+            from repro.service.shard import HashRing, worker_slots
+
+            ring = HashRing(worker_slots(2))
+            owner = ring.lookup(routing_digest(PROGRAM_TEXT, DATABASE_TEXT, "tc"))
+            colocated = [
+                chain_db(n)
+                for n in range(3, 60)
+                if ring.lookup(routing_digest(PROGRAM_TEXT, chain_db(n), "tc"))
+                == owner
+            ][:2]
+            assert len(colocated) == 2
+            ctx = local_sharded_service(workers=2, max_sessions=2)
+        else:
+            colocated = [chain_db(3), chain_db(4)]
+            ctx = local_service(
+                registry=SessionRegistry(max_sessions=2, max_bytes=None)
+            )
+        with ctx as client:
             first = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")["session"]
             first_answers = client.answers(first)["result"]["answers"]
-            client.open(PROGRAM_TEXT, chain_db(3), "tc")
-            client.open(PROGRAM_TEXT, chain_db(4), "tc")  # evicts the first
+            client.open(PROGRAM_TEXT, colocated[0], "tc")
+            client.open(PROGRAM_TEXT, colocated[1], "tc")  # evicts the first
             with pytest.raises(ServiceError) as err:
                 client.answers(first)
             assert err.value.code == "unknown-session"
@@ -610,11 +677,11 @@ class TestWire:
             assert reopened["result"]["admitted"] is True
             assert client.answers(first)["result"]["answers"] == first_answers
 
-    def test_update_storm_recovery(self):
+    def test_update_storm_recovery(self, mode):
         # A burst of updates leaves the session correct and still on its
         # first evaluation; the next read serves from maintained state.
         session = make_session()
-        with local_service() as client:
+        with wire_service(mode) as client:
             digest = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")["session"]
             for index in range(5):
                 client.update(digest, lines=[f"+e(s{index}, s{index + 1})."])
@@ -628,8 +695,8 @@ class TestWire:
             stats = client.stats(digest)["result"]
             assert stats["session_stats"]["evaluations"] == 1
 
-    def test_shutdown_request_stops_server(self):
-        with local_service() as client:
+    def test_shutdown_request_stops_server(self, mode):
+        with wire_service(mode) as client:
             assert client.shutdown_server()["result"] == {"stopping": True}
 
 
@@ -840,3 +907,112 @@ class TestDurableService:
             assert reopened["session"] == first
             assert reopened["result"]["rehydrated"] is True
             assert client.stats()["result"]["rehydrations"] == 1
+
+
+class TestSharded:
+    """What only the multi-process daemon promises: routing and topology.
+
+    The shared wire contract is covered by the parametrized
+    :class:`TestWire`; these tests pin down the sharded daemon's own
+    observable behavior — the aggregate stats table, the shard block on
+    session stats, routing stability against the published hash ring,
+    and error-message parity with the single-process dispatcher.
+    """
+
+    def test_aggregate_stats_shape(self):
+        with local_sharded_service(workers=2) as client:
+            client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")
+            result = client.stats()["result"]
+            sharding = result["sharding"]
+            assert sharding["workers"] == 2
+            assert len(sharding["per_worker"]) == 2
+            slots = [row["slot"] for row in sharding["per_worker"]]
+            assert slots == ["shard-0", "shard-1"]
+            for row in sharding["per_worker"]:
+                assert row["alive"] is True
+                assert row["restarts"] == 0
+                assert isinstance(row["pid"], int)
+            # Exactly one worker holds the admitted session; the summed
+            # counters see it exactly once.
+            assert result["session_count"] == 1
+            assert result["admissions"] == 1
+            assert [s["answer"] for s in result["sessions"]] == ["tc"]
+            assert result["store"] is None
+
+    def test_single_process_stats_report_no_sharding(self):
+        with local_service() as client:
+            assert client.stats()["result"]["sharding"] is None
+
+    def test_session_stats_carry_owning_shard(self):
+        from repro.service.registry import routing_digest
+        from repro.service.shard import HashRing, worker_slots
+
+        with local_sharded_service(workers=2) as client:
+            digest = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")["session"]
+            shard = client.stats(digest)["result"]["shard"]
+            # The advertised owner is exactly what the published ring
+            # computes from the digest — clients can predict placement.
+            ring = HashRing(worker_slots(2))
+            assert shard["slot"] == ring.lookup(digest)
+            assert digest == routing_digest(PROGRAM_TEXT, DATABASE_TEXT, "tc")
+            assert shard["alive"] is True
+
+    def test_routing_is_stable_across_requests(self):
+        with local_sharded_service(workers=2) as client:
+            digest = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")["session"]
+            owners = {
+                client.stats(digest)["result"]["shard"]["slot"] for _ in range(5)
+            }
+            assert len(owners) == 1
+            # Inline texts route to the same shard as their digest: the
+            # warm session is found, not re-admitted elsewhere.
+            reopened = client.open(PROGRAM_TEXT, DATABASE_TEXT, "tc")
+            assert reopened["result"]["admitted"] is False
+            assert reopened["session"] == digest
+
+    def test_error_parity_with_single_process(self):
+        """Router-level failures must be byte-identical to dispatcher ones."""
+        probes = [
+            {"op": "frobnicate"},
+            {"op": "why", "tuple": ["a", "c"]},
+            {"op": "why", "session": 7, "tuple": ["a", "c"]},
+            {"op": "why", "program": PROGRAM_TEXT, "database": DATABASE_TEXT,
+             "answer": 9, "tuple": ["a", "c"]},
+            {"op": "why", "program": "this is not datalog",
+             "database": DATABASE_TEXT, "tuple": ["a", "c"]},
+            {"op": "why", "session": "deadbeef", "tuple": ["a", "c"]},
+        ]
+        with local_service() as single, local_sharded_service(workers=2) as sharded:
+            for index, probe in enumerate(probes):
+                request = {**probe, "id": index}
+                assert single.request(request) == sharded.request(request), probe
+
+    def test_ping_served_by_the_router(self):
+        with local_sharded_service(workers=2) as client:
+            result = client.ping()["result"]
+            assert result["pong"] is True
+            assert result["protocol"] == PROTOCOL_VERSION
+
+    def test_sessions_spread_over_workers(self):
+        # Open sessions until both shards own at least one (bounded by
+        # the ring's balance; a handful of distinct digests suffices).
+        from repro.service.registry import routing_digest
+        from repro.service.shard import HashRing, worker_slots
+
+        ring = HashRing(worker_slots(2))
+        databases = []
+        seen = set()
+        for n in range(2, 60):
+            text = chain_db(n)
+            slot = ring.lookup(routing_digest(PROGRAM_TEXT, text, "tc"))
+            if slot not in seen:
+                seen.add(slot)
+                databases.append(text)
+            if len(seen) == 2:
+                break
+        assert len(databases) == 2
+        with local_sharded_service(workers=2) as client:
+            for text in databases:
+                client.open(PROGRAM_TEXT, text, "tc")
+            per_worker = client.stats()["result"]["sharding"]["per_worker"]
+            assert [row["session_count"] for row in per_worker] == [1, 1]

@@ -71,6 +71,40 @@ def test_service_round_trip_matches_after_updates(scenario_name, database_name):
 
 
 @pytest.mark.parametrize("scenario_name,database_name", CASES)
+def test_sharded_service_round_trip_matches_in_process(
+    scenario_name, database_name
+):
+    """ISSUE 8 acceptance: the --workers 4 daemon is byte-identical too.
+
+    Same harness run, but every request crosses the async router and a
+    consistent-hash hop to one of four real worker processes.
+    """
+    scenario = get_scenario(scenario_name)
+    local = run_database(scenario, database_name, **BUDGET)
+    via_shards = run_database(
+        scenario, database_name, service=True, shards=4, **BUDGET
+    )
+    assert strip_timings(via_shards) == strip_timings(local)
+
+
+def test_sharded_service_round_trip_matches_after_updates():
+    scenario = get_scenario("TransClosure")
+    deltas = deltas_for("TransClosure")
+    local = run_database(scenario, "bitcoin", deltas=deltas, **BUDGET)
+    via_shards = run_database(
+        scenario, "bitcoin", deltas=deltas, service=True, shards=4, **BUDGET
+    )
+    assert strip_timings(via_shards) == strip_timings(local)
+    assert len(via_shards.update_runs) == len(deltas)
+
+
+def test_shards_refused_without_service():
+    scenario = get_scenario("TransClosure")
+    with pytest.raises(ValueError, match="shard"):
+        run_database(scenario, "bitcoin", shards=2, **BUDGET)
+
+
+@pytest.mark.parametrize("scenario_name,database_name", CASES)
 def test_witnesses_byte_identical_across_update_sequence(
     scenario_name, database_name
 ):
