@@ -200,6 +200,12 @@ def update_session(session: "ProvenanceSession", delta: Delta) -> SessionUpdate:
     dirty = _dirty_facts(effective, result)
     invalidated, retained = _invalidate_stale_caches(session, dirty)
     session.stats.closure_invalidations += invalidated
+    # Warm SAT-pool entries follow the same retention rule as closures:
+    # an entry whose loaded core the dirty set misses cannot contain a
+    # stale clause, so its solver — learned clauses included — survives
+    # the update.
+    if session._sat_pool is not None:
+        session._sat_pool.invalidate(dirty)
 
     # The GRI maps are pure functions of the (patched) instance set; if
     # the session had built them, refresh them now from the new trace —

@@ -59,6 +59,12 @@ from ..provenance.grounding import (
     _restrict_to_reachable,
     downward_closure,
 )
+from ..sat.incremental import (
+    PooledFactContext,
+    SolverPool,
+    resolve_sat_backend,
+    resolve_sat_pool,
+)
 from ..sat.solver import CDCLSolver
 from .encoder import WhyProvenanceEncoding, encode_why_provenance
 
@@ -87,6 +93,15 @@ class SessionStats:
     #: across :meth:`ProvenanceSession.update` maintenance rounds.
     plans_compiled: int = 0
     plan_reuses: int = 0
+    #: Incremental SAT-pool gauges (zero in ``fresh`` mode): residual-group
+    #: admissions that found their root warm vs. had to load it, verdict
+    #: solves answered by pooled solvers, entries dropped by updates, and
+    #: learned clauses currently shared across the warm pool solvers.
+    sat_pool_hits: int = 0
+    sat_pool_misses: int = 0
+    sat_pooled_verdicts: int = 0
+    sat_pool_invalidations: int = 0
+    sat_learned_shared: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (for reports and assertions)."""
@@ -102,6 +117,11 @@ class SessionStats:
             "closure_invalidations": self.closure_invalidations,
             "plans_compiled": self.plans_compiled,
             "plan_reuses": self.plan_reuses,
+            "sat_pool_hits": self.sat_pool_hits,
+            "sat_pool_misses": self.sat_pool_misses,
+            "sat_pooled_verdicts": self.sat_pooled_verdicts,
+            "sat_pool_invalidations": self.sat_pool_invalidations,
+            "sat_learned_shared": self.sat_learned_shared,
         }
 
 
@@ -131,6 +151,16 @@ class ProvenanceSession:
         session owns a :class:`~repro.datalog.plans.PlanContext` shared
         by its initial evaluation and every :meth:`update`, dropped by
         :meth:`invalidate` along with the other caches.
+    sat_mode:
+        ``"pooled"`` (default) keeps a
+        :class:`~repro.sat.incremental.SolverPool` of warm incremental
+        solvers shared across the per-fact solves; ``"fresh"`` disables
+        it (the ablation foil). ``None`` consults ``REPRO_SAT_POOL``.
+        Resolved once at construction, like ``engine``.
+    sat_backend:
+        SAT engine for pooled/enumeration solvers: ``"pure"`` (the
+        in-tree CDCL, default), ``"pysat"`` (an installed `python-sat`
+        binding), or ``"auto"``. ``None`` consults ``REPRO_SAT_BACKEND``.
     """
 
     def __init__(
@@ -141,6 +171,8 @@ class ProvenanceSession:
         record_instances: bool = True,
         acyclicity: str = "vertex-elimination",
         engine: Optional[str] = None,
+        sat_mode: Optional[str] = None,
+        sat_backend: Optional[str] = None,
     ):
         check_over_schema(database, query.program.edb)
         self.query = query
@@ -149,6 +181,9 @@ class ProvenanceSession:
         self.record_instances = record_instances
         self.acyclicity = acyclicity
         self.engine = resolve_engine(engine)
+        self.sat_mode = resolve_sat_pool(sat_mode)
+        self.sat_backend = resolve_sat_backend(sat_backend)
+        self._sat_pool: Optional[SolverPool] = None
         self._plan_context: Optional[PlanContext] = None
         self.stats = SessionStats()
         #: Monotonic database-state counter: bumped by every effective
@@ -379,6 +414,41 @@ class ProvenanceSession:
             self._decision_solvers[key] = solver
         return solver
 
+    def sat_pool(self) -> Optional[SolverPool]:
+        """The session's warm incremental solver pool (``None`` when fresh).
+
+        Created lazily on the first pooled query; every per-fact decider
+        and enumerator of the session funnels verdict solves through it,
+        so learned clauses carry across the facts of a batch. Entries
+        are invalidated per-update by dirty-set intersection (see
+        :meth:`update`) and wholesale by :meth:`invalidate`.
+        """
+        if self.sat_mode != "pooled":
+            return None
+        if self._sat_pool is None:
+            self._sat_pool = SolverPool(
+                backend=self.sat_backend, stats_sink=self.stats
+            )
+        return self._sat_pool
+
+    def pool_context(
+        self, tup: Tuple, acyclicity: Optional[str] = None
+    ) -> Optional[PooledFactContext]:
+        """A pooled verdict context for ``phi_(t, D, Q)``, or ``None``.
+
+        ``None`` when pooling is off (``sat_mode == "fresh"``), the tuple
+        is not an answer, or the encoding is not poolable. The context is
+        acquisition-scoped: its blocking clauses are private, so distinct
+        enumerations of the same tuple never interfere.
+        """
+        pool = self.sat_pool()
+        if pool is None:
+            return None
+        encoding = self.encoding_or_none(tup, acyclicity=acyclicity)
+        if encoding is None:
+            return None
+        return pool.context(encoding)
+
     # -- enumeration layer --------------------------------------------------
 
     def enumerator(
@@ -577,6 +647,8 @@ class ProvenanceSession:
         self._encodings.clear()
         self._decision_solvers.clear()
         self._enumerators.clear()
+        if self._sat_pool is not None:
+            self._sat_pool.clear()
 
     def fork(self, database: Optional[Database] = None) -> "ProvenanceSession":
         """A fresh session over the same query (optionally a new database).
@@ -591,6 +663,8 @@ class ProvenanceSession:
             record_instances=self.record_instances,
             acyclicity=self.acyclicity,
             engine=self.engine,
+            sat_mode=self.sat_mode,
+            sat_backend=self.sat_backend,
         )
 
     def __repr__(self) -> str:

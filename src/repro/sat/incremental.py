@@ -1,0 +1,783 @@
+"""Incremental SAT service layer: warm solver pools and pluggable backends.
+
+The per-fact encodings of one session share most of their clauses: a
+downward closure is downward-closed, so two closures agree *verbatim* on
+the per-node structure clauses (phi_graph + phi_proof) of every node they
+have in common. Yet historically every fact of ``explain_batch`` got a
+fresh :class:`~repro.sat.solver.CDCLSolver` and re-learned the same
+conflicts from scratch. This module keeps that knowledge warm:
+
+* :class:`SolverPool` — one warm solver per shared clause core. Per-node
+  structure clauses are interned once, **unguarded** (they are inert for
+  encodings missing the node: each carries a negative literal on a
+  node-local variable, so the all-false extension satisfies it). The
+  root-specific residue (phi_root + phi_acyclic) is loaded once per root
+  behind an activation literal, and each acquisition gets a private
+  activation literal guarding its blocking clauses. Solving under
+  ``[root_activation, blocking_activation]`` assumptions is then exactly
+  equisatisfiable with the per-fact formula plus that acquisition's
+  blocking set — while learned clauses persist across every solve.
+* :class:`VariableInterner` — the shared variable numbering: encodings
+  address their variables by :class:`~repro.sat.cnf.VariablePool` keys,
+  and the interner maps each key to one pooled variable, so clauses
+  (and learned clauses derived from them) line up across encodings.
+* **Verdicts only.** Pool answers are SAT/UNSAT verdicts, never models.
+  A verdict is a property of the formula — independent of learned
+  clauses, search order, or what other facts the pool has seen — so
+  consulting the pool can never change *which* witnesses a per-fact
+  enumeration produces or in what order. That is what keeps the
+  cross-path fuzz oracle byte-identical while the pool accelerates the
+  UNSAT (exhaustion/refutation) half of the workload.
+* :class:`FormulaPool` — the raw-CNF analogue used by the differential
+  battery: many formulas, one warm solver, each formula's clauses
+  shifted onto fresh variables and guarded by an activation literal.
+* Backend knob — ``REPRO_SAT_BACKEND`` selects the solving engine:
+  ``pure`` (the in-tree CDCL, always available, the differential
+  oracle), ``pysat`` (an installed `python-sat` binding, used as a
+  drop-in via :class:`PySATSolver`), or ``auto`` (native if installed).
+
+Environment knobs
+-----------------
+
+``REPRO_SAT_BACKEND``
+    ``pure`` (default) / ``pysat`` / ``auto``.
+``REPRO_SAT_POOL``
+    ``pooled`` (default) / ``fresh`` — whether sessions keep a
+    :class:`SolverPool`. ``fresh`` is the ablation foil.
+``REPRO_SAT_CONFLICT_HANDOFF``
+    Conflict budget a per-fact enumeration solver spends before asking
+    the pool for a verdict (default ``512``; ``0`` disables the handoff).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .cnf import CNF
+from .solver import CDCLSolver, SolverStatistics
+
+#: Recognized values of ``REPRO_SAT_BACKEND``.
+SAT_BACKENDS = ("pure", "pysat", "auto")
+
+#: Recognized values of ``REPRO_SAT_POOL``.
+SAT_POOL_MODES = ("pooled", "fresh")
+
+#: Default conflict budget before an enumeration solver consults the pool.
+#: Calibrated on the Andersen batches: member-finding (SAT) steps almost
+#: never exceed ~300 conflicts, while refutation-class solves run into the
+#: thousands — so at 512 the handoff stays out of the easy steps' way and
+#: fires precisely where warm cross-fact learning pays.
+DEFAULT_CONFLICT_HANDOFF = 512
+
+#: Residual-group admissions between LBD prunes of a pool entry's solver.
+_PRUNE_EVERY = 32
+
+#: LBD ceiling for learned clauses retained across pool prunes.
+_PRUNE_MAX_LBD = 4
+
+#: Acquisitions per pool entry before the entry is rebuilt from scratch
+#: (guarded clause cruft reclamation).
+DEFAULT_MAX_CONTEXTS = 512
+
+
+# -- backend resolution ------------------------------------------------------
+
+
+def native_backend_available() -> bool:
+    """Whether an importable `python-sat` (``pysat``) binding exists."""
+    try:
+        import pysat.solvers  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def resolve_sat_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend name (or ``REPRO_SAT_BACKEND``) to pure/pysat.
+
+    ``auto`` picks ``pysat`` when the binding is importable and falls
+    back to ``pure`` otherwise; asking for ``pysat`` explicitly when it
+    is not installed raises, rather than silently changing engines.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_SAT_BACKEND", "pure")
+    if backend not in SAT_BACKENDS:
+        raise ValueError(
+            f"unknown SAT backend {backend!r}; expected one of {SAT_BACKENDS}"
+        )
+    if backend == "auto":
+        return "pysat" if native_backend_available() else "pure"
+    if backend == "pysat" and not native_backend_available():
+        raise RuntimeError(
+            "REPRO_SAT_BACKEND=pysat but the python-sat package is not "
+            "installed; install python-sat or use the pure backend"
+        )
+    return backend
+
+
+def resolve_sat_pool(mode: Optional[str] = None) -> str:
+    """Resolve a pool mode (or ``REPRO_SAT_POOL``) to pooled/fresh."""
+    if mode is None:
+        mode = os.environ.get("REPRO_SAT_POOL", "pooled")
+    if mode not in SAT_POOL_MODES:
+        raise ValueError(
+            f"unknown SAT pool mode {mode!r}; expected one of {SAT_POOL_MODES}"
+        )
+    return mode
+
+
+def conflict_handoff() -> int:
+    """The enumeration conflict budget before a pool-verdict consult."""
+    raw = os.environ.get("REPRO_SAT_CONFLICT_HANDOFF", "")
+    if not raw:
+        return DEFAULT_CONFLICT_HANDOFF
+    value = int(raw)
+    return max(0, value)
+
+
+def new_sat_solver(backend: Optional[str] = None):
+    """A fresh solver of the resolved *backend*, CDCL-duck-compatible.
+
+    Both engines expose the subset of the :class:`CDCLSolver` API the
+    pipeline uses: ``new_var`` / ``ensure_vars`` / ``add_cnf`` /
+    ``add_clause`` / ``set_phases`` / ``solve(assumptions,
+    conflict_limit, timeout_seconds)`` / ``model`` / ``value`` /
+    ``prune_learned`` / ``stats``.
+    """
+    resolved = resolve_sat_backend(backend)
+    if resolved == "pysat":
+        return PySATSolver()
+    return CDCLSolver()
+
+
+class PySATSolver:
+    """Adapter presenting a `python-sat` solver behind the CDCL duck API.
+
+    Wraps a Glucose instance (the solver the paper's implementation
+    calls) with incremental clause addition, assumption solving, a
+    conflict budget (``solve_limited``) and a wall-clock timeout
+    (interrupt timer). Only constructed when ``pysat`` is importable —
+    :func:`resolve_sat_backend` guards every entry point.
+    """
+
+    def __init__(self):
+        from pysat.solvers import Glucose3
+
+        self._solver = Glucose3(incr=True)
+        self._num_vars = 0
+        self._unsat = False
+        self._model: Dict[int, bool] = {}
+        self.stats = SolverStatistics()
+
+    # -- variables and clauses ---------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._num_vars += 1
+        return self._num_vars
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable pool so that *num_vars* variables exist."""
+        if num_vars > self._num_vars:
+            self._num_vars = num_vars
+
+    @property
+    def num_vars(self) -> int:
+        """Number of allocated variables."""
+        return self._num_vars
+
+    def add_cnf(self, cnf: CNF) -> None:
+        """Load every clause of a :class:`CNF` (allocating variables)."""
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns ``False`` once the formula is root-UNSAT."""
+        if self._unsat:
+            return False
+        clause = [int(lit) for lit in literals]
+        if not clause:
+            self._unsat = True
+            return False
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            self.ensure_vars(abs(lit))
+        self._solver.add_clause(clause)
+        return True
+
+    def set_phases(self, phases: Dict[int, bool]) -> None:
+        """Seed the solver's phase memory (warm start); best-effort."""
+        literals = []
+        for var, value in phases.items():
+            self.ensure_vars(var)
+            literals.append(var if value else -var)
+        try:
+            self._solver.set_phases(literals=literals)
+        except (AttributeError, NotImplementedError):
+            pass
+
+    def prune_learned(self, max_lbd: int = 2) -> int:
+        """Native solvers manage their own clause database; no-op."""
+        return 0
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> Optional[bool]:
+        """Solve under *assumptions*; ``None`` when a budget ran out."""
+        if self._unsat:
+            return False
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        assumption_list = list(assumptions)
+        timer = None
+        if timeout_seconds is not None:
+            import threading
+
+            timer = threading.Timer(
+                max(timeout_seconds, 1e-3), self._solver.interrupt
+            )
+            timer.start()
+        try:
+            if conflict_limit is not None:
+                self._solver.conf_budget(int(conflict_limit))
+                result = self._solver.solve_limited(
+                    assumptions=assumption_list,
+                    expect_interrupt=timer is not None,
+                )
+            elif timer is not None:
+                result = self._solver.solve_limited(
+                    assumptions=assumption_list, expect_interrupt=True
+                )
+            else:
+                result = self._solver.solve(assumptions=assumption_list)
+        finally:
+            if timer is not None:
+                timer.cancel()
+                self._solver.clear_interrupt()
+        if result is True:
+            self._model = {var: False for var in range(1, self._num_vars + 1)}
+            for lit in self._solver.get_model() or ():
+                self._model[abs(lit)] = lit > 0
+            if not assumption_list and not self._solver.get_model():
+                # Degenerate no-clause formula: an empty model is total.
+                pass
+        elif result is False and not assumption_list:
+            self._unsat = True
+        return result
+
+    def model(self) -> Dict[int, bool]:
+        """The satisfying assignment of the last successful ``solve``."""
+        return dict(self._model)
+
+    def value(self, var: int) -> Optional[bool]:
+        """Value of *var* in the last model (``None`` if never solved)."""
+        return self._model.get(var)
+
+
+# -- the incremental provenance pool ----------------------------------------
+
+
+@dataclass
+class PoolStats:
+    """Work and reuse counters of one :class:`SolverPool`."""
+
+    #: Warm solver entries built (one per shared clause core).
+    solver_builds: int = 0
+    #: Residual-group admissions that found their root already loaded.
+    hits: int = 0
+    #: Residual-group admissions that had to load root residual clauses.
+    misses: int = 0
+    #: Verdict solves served from warm pooled solvers.
+    verdicts: int = 0
+    #: Entries dropped because an update's dirty set touched their core.
+    invalidations: int = 0
+    #: Entries rebuilt after exceeding the acquisition cap.
+    evictions: int = 0
+    #: Distinct closure nodes whose structure clauses are interned.
+    core_nodes: int = 0
+    #: Unguarded shared-core clauses currently interned.
+    core_clauses: int = 0
+    #: Guarded root-residual clauses currently loaded.
+    residual_clauses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for reports and assertions)."""
+        return {
+            "solver_builds": self.solver_builds,
+            "hits": self.hits,
+            "misses": self.misses,
+            "verdicts": self.verdicts,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "core_nodes": self.core_nodes,
+            "core_clauses": self.core_clauses,
+            "residual_clauses": self.residual_clauses,
+        }
+
+
+class VariableInterner:
+    """Shared key-to-variable numbering over one pooled solver.
+
+    Encodings allocate their variables independently, but address them
+    through stable :class:`~repro.sat.cnf.VariablePool` keys (``("x",
+    fact, i)``, ``("y", fact, 0, edge)``, ...). Interning by key gives
+    every encoding of the pool the *same* pooled variable for the same
+    node/hyperedge/edge — which is what lets structure clauses (and the
+    clauses learned from them) carry over between per-fact solves.
+    """
+
+    def __init__(self, solver):
+        self._solver = solver
+        self._by_key: Dict[Hashable, int] = {}
+
+    def var(self, key: Hashable) -> int:
+        """The pooled variable for *key*, allocated on first use."""
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        var = self._solver.new_var()
+        self._by_key[key] = var
+        return var
+
+    def get(self, key: Hashable) -> Optional[int]:
+        """The pooled variable for *key* if interned, else ``None``."""
+        return self._by_key.get(key)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def translate(self, encoding) -> Dict[int, int]:
+        """``local var -> pooled var`` for every keyed encoding variable.
+
+        Anonymous variables (acyclicity auxiliaries) are *not* covered;
+        the caller allocates private pooled variables for those on first
+        sight — they are root-specific and never shared.
+        """
+        return {
+            local: self.var(key) for key, local in encoding.pool.items()
+        }
+
+
+class _ResidualGroup:
+    """The once-per-root guarded residue inside a pool entry."""
+
+    __slots__ = ("root", "activation", "fact_lits", "nodes")
+
+    def __init__(
+        self,
+        root,
+        activation: int,
+        fact_lits: Dict[Hashable, int],
+        nodes: FrozenSet,
+    ):
+        self.root = root
+        self.activation = activation
+        self.fact_lits = fact_lits
+        self.nodes = nodes
+
+
+class _PoolEntry:
+    """One warm solver plus interning state for a shared clause core."""
+
+    def __init__(self, backend: str):
+        self.solver = new_sat_solver(backend)
+        self.interner = VariableInterner(self.solver)
+        self.loaded_nodes: Set = set()
+        self.groups: Dict[Hashable, _ResidualGroup] = {}
+        self.context_count = 0
+        self.dead = False
+        self._seen_core: Set[Tuple[int, ...]] = set()
+        self._admissions_since_prune = 0
+
+    def core_digest(self) -> str:
+        """A content digest of the interned shared core (for tests/stats)."""
+        hasher = hashlib.sha1()
+        for clause in sorted(self._seen_core):
+            hasher.update(repr(clause).encode())
+        return hasher.hexdigest()
+
+    def _map_core_literal(self, lit: int, mapping: Dict[int, int]) -> int:
+        pooled = mapping[abs(lit)]
+        return pooled if lit > 0 else -pooled
+
+    def _map_residual_literal(self, lit: int, mapping: Dict[int, int]) -> int:
+        var = abs(lit)
+        pooled = mapping.get(var)
+        if pooled is None:
+            # Anonymous auxiliary (acyclicity): private to this root.
+            pooled = self.solver.new_var()
+            mapping[var] = pooled
+        return pooled if lit > 0 else -pooled
+
+    def admit(self, encoding, stats: PoolStats) -> _ResidualGroup:
+        """Load *encoding* (core dedup + guarded residue); return its group."""
+        root = encoding.closure.root
+        group = self.groups.get(root)
+        if group is not None:
+            stats.hits += 1
+            return group
+        stats.misses += 1
+        mapping = self.interner.translate(encoding)
+        for clause in encoding.shared_core_clauses():
+            mapped = tuple(
+                self._map_core_literal(lit, mapping) for lit in clause
+            )
+            signature = tuple(sorted(mapped))
+            if signature in self._seen_core:
+                continue
+            self._seen_core.add(signature)
+            stats.core_clauses += 1
+            if not self.solver.add_clause(mapped):
+                # Cannot happen for a satisfiable core (the all-false
+                # assignment satisfies every structure clause), but stay
+                # defensive: a dead entry serves only False verdicts.
+                self.dead = True
+                return self._admit_group(encoding, mapping, stats)
+        new_nodes = encoding.closure.nodes - self.loaded_nodes
+        self.loaded_nodes |= encoding.closure.nodes
+        stats.core_nodes += len(new_nodes)
+        group = self._admit_group(encoding, mapping, stats)
+        self._admissions_since_prune += 1
+        if self._admissions_since_prune >= _PRUNE_EVERY:
+            self._admissions_since_prune = 0
+            self.solver.prune_learned(max_lbd=_PRUNE_MAX_LBD)
+        return group
+
+    def _admit_group(
+        self, encoding, mapping: Dict[int, int], stats: PoolStats
+    ) -> _ResidualGroup:
+        activation = self.solver.new_var()
+        for clause in encoding.residual_clauses():
+            guarded = [-activation]
+            guarded.extend(
+                self._map_residual_literal(lit, mapping) for lit in clause
+            )
+            stats.residual_clauses += 1
+            if not self.solver.add_clause(guarded):
+                self.dead = True
+                break
+        group = _ResidualGroup(
+            root=encoding.closure.root,
+            activation=activation,
+            fact_lits={
+                fact: mapping[var]
+                for fact, var in encoding.database_fact_vars.items()
+            },
+            nodes=frozenset(encoding.closure.nodes),
+        )
+        self.groups[group.root] = group
+        return group
+
+
+class PooledFactContext:
+    """One acquisition of the pool: verdicts for one per-fact enumeration.
+
+    The context owns a private blocking activation literal; blocking
+    clauses mirrored through :meth:`block` are guarded by it, so two
+    enumerations of the same tuple (a cached enumerator and a fresh
+    ``why`` pass, say) never see each other's blocking sets. Verdicts
+    are solved under ``[root_activation, blocking_activation]``, which
+    is equisatisfiable with the fact's own formula plus this context's
+    blocking clauses — see the module docstring for the argument.
+    """
+
+    def __init__(self, pool: "SolverPool", entry: _PoolEntry, group: _ResidualGroup):
+        self._pool = pool
+        self._entry = entry
+        self._group = group
+        self._blocking_activation = entry.solver.new_var()
+        self.blocked = 0
+
+    @property
+    def root(self):
+        """The root fact this context answers verdicts for."""
+        return self._group.root
+
+    def verdict(
+        self,
+        extra_assumptions: Sequence[int] = (),
+        timeout_seconds: Optional[float] = None,
+    ) -> Optional[bool]:
+        """SAT/UNSAT of the fact's formula plus this context's blocks.
+
+        ``None`` only when *timeout_seconds* expired first (untimed
+        verdicts always answer). The answer is a property of the formula
+        — independent of the pool's learned state — which is what makes
+        consulting it safe for deterministic enumeration.
+        """
+        if self._entry.dead:
+            return False
+        assumptions = [self._group.activation, self._blocking_activation]
+        assumptions.extend(extra_assumptions)
+        result = self._entry.solver.solve(
+            assumptions=assumptions, timeout_seconds=timeout_seconds
+        )
+        self._pool._record_verdict()
+        return result
+
+    def block(self, support_signs: Mapping[Hashable, bool]) -> None:
+        """Mirror a blocking clause: exclude the projection *support_signs*.
+
+        *support_signs* maps each database fact of the closure to its
+        value in the model being blocked (missing facts count as false).
+        """
+        lits = [-self._blocking_activation]
+        for fact, var in self._group.fact_lits.items():
+            value = support_signs.get(fact, False)
+            lits.append(-var if value else var)
+        if len(lits) > 1:
+            self._entry.solver.add_clause(lits)
+            self.blocked += 1
+
+    def membership_assumptions(
+        self, subset: FrozenSet
+    ) -> Optional[List[int]]:
+        """Pooled-variable assumptions pinning ``db(tau) == subset``.
+
+        Mirrors
+        :meth:`~repro.core.encoder.WhyProvenanceEncoding.membership_assumptions`
+        over the pooled numbering; ``None`` when *subset* leaves the
+        closure's database facts.
+        """
+        if not subset <= frozenset(self._group.fact_lits):
+            return None
+        return [
+            var if fact in subset else -var
+            for fact, var in self._group.fact_lits.items()
+        ]
+
+
+class SolverPool:
+    """Warm incremental solvers keyed by shared-clause-core identity.
+
+    Within one session, two encodings share their per-node structure
+    clauses exactly when they agree on ``(copies, acyclicity)`` — the
+    entry key. Each entry holds one warm solver; acquisitions
+    (:meth:`context`) intern the encoding's core, load its root residue
+    behind an activation literal, and hand back a
+    :class:`PooledFactContext` for verdict queries. Learned clauses
+    accumulate in the entry's solver across every solve, LBD-pruned
+    periodically.
+
+    ``stats_sink`` is any object with ``sat_pool_hits`` /
+    ``sat_pool_misses`` / ``sat_pooled_verdicts`` /
+    ``sat_pool_invalidations`` / ``sat_learned_shared`` attributes
+    (the session's :class:`~repro.core.session.SessionStats`); the pool
+    mirrors its counters into it after every event.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        max_contexts: int = DEFAULT_MAX_CONTEXTS,
+        stats_sink=None,
+    ):
+        self.backend = resolve_sat_backend(backend)
+        self.max_contexts = max_contexts
+        self.stats = PoolStats()
+        self._entries: Dict[Tuple[int, str], _PoolEntry] = {}
+        self._sink = stats_sink
+
+    # -- acquisition ---------------------------------------------------------
+
+    def _entry_for(self, encoding) -> _PoolEntry:
+        key = (encoding.copies, encoding.acyclicity_method)
+        entry = self._entries.get(key)
+        if entry is not None and (
+            entry.dead or entry.context_count >= self.max_contexts
+        ):
+            self.stats.evictions += 1
+            self._forget_entry(entry)
+            entry = None
+        if entry is None:
+            self.stats.solver_builds += 1
+            entry = _PoolEntry(self.backend)
+            self._entries[key] = entry
+        return entry
+
+    def _forget_entry(self, entry: _PoolEntry) -> None:
+        self.stats.core_nodes -= len(entry.loaded_nodes)
+        self.stats.core_clauses -= len(entry._seen_core)
+        key = next(
+            (k for k, e in self._entries.items() if e is entry), None
+        )
+        if key is not None:
+            del self._entries[key]
+
+    def context(self, encoding) -> Optional[PooledFactContext]:
+        """Acquire a verdict context for *encoding* (``copies == 1`` only).
+
+        Returns ``None`` for multi-copy encodings — those are built over
+        subset databases by the bounded-copies decider and are neither
+        shared nor repeated, so pooling them buys nothing.
+        """
+        if encoding.copies != 1:
+            return None
+        entry = self._entry_for(encoding)
+        group = entry.admit(encoding, self.stats)
+        entry.context_count += 1
+        context = PooledFactContext(self, entry, group)
+        self._publish()
+        return context
+
+    def decide(self, encoding, subset: FrozenSet) -> Optional[bool]:
+        """One pooled membership verdict: ``db(tau) == subset`` satisfiable?
+
+        Returns ``None`` when the encoding is not poolable (``copies >
+        1``); ``False`` when *subset* leaves the closure. Shares the
+        root's residual group with every other query for the same fact.
+        """
+        if encoding.copies != 1:
+            return None
+        entry = self._entry_for(encoding)
+        group = entry.admit(encoding, self.stats)
+        if entry.dead or not subset <= frozenset(group.fact_lits):
+            self._publish()
+            return False
+        assumptions = [group.activation]
+        assumptions.extend(
+            var if fact in subset else -var
+            for fact, var in group.fact_lits.items()
+        )
+        result = entry.solver.solve(assumptions=assumptions)
+        self.stats.verdicts += 1
+        self._publish()
+        return bool(result)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def invalidate(self, dirty: Set) -> int:
+        """Drop every entry whose loaded core intersects *dirty* facts.
+
+        The retention rule mirrors the session's closure invalidation:
+        an update that misses an entry's loaded nodes cannot have
+        changed any clause the entry interned (structure clauses are
+        functions of the node's hyperedges and database membership, both
+        covered by the dirty set), so the entry — digest and learned
+        clauses included — stays warm. Returns the dropped-entry count.
+        """
+        if not dirty:
+            return 0
+        dropped = [
+            entry
+            for entry in self._entries.values()
+            if not dirty.isdisjoint(entry.loaded_nodes)
+        ]
+        for entry in dropped:
+            self._forget_entry(entry)
+        self.stats.invalidations += len(dropped)
+        self._publish()
+        return len(dropped)
+
+    def clear(self) -> int:
+        """Drop every entry (full session invalidation); returns the count."""
+        count = len(self._entries)
+        for entry in list(self._entries.values()):
+            self._forget_entry(entry)
+        self.stats.invalidations += count
+        self._publish()
+        return count
+
+    def learned_total(self) -> int:
+        """Learned clauses accumulated across all warm pool solvers."""
+        return sum(e.solver.stats.learned for e in self._entries.values())
+
+    def entries(self) -> List[Dict]:
+        """JSON-ready per-entry summaries (stats plumbing / tests)."""
+        return [
+            {
+                "key": list(map(str, key)),
+                "digest": entry.core_digest(),
+                "loaded_nodes": len(entry.loaded_nodes),
+                "groups": len(entry.groups),
+                "contexts": entry.context_count,
+                "learned": entry.solver.stats.learned,
+                "dead": entry.dead,
+            }
+            for key, entry in self._entries.items()
+        ]
+
+    # -- internals -----------------------------------------------------------
+
+    def _record_verdict(self) -> None:
+        self.stats.verdicts += 1
+        self._publish()
+
+    def _publish(self) -> None:
+        sink = self._sink
+        if sink is None:
+            return
+        sink.sat_pool_hits = self.stats.hits
+        sink.sat_pool_misses = self.stats.misses
+        sink.sat_pooled_verdicts = self.stats.verdicts
+        sink.sat_pool_invalidations = self.stats.invalidations
+        sink.sat_learned_shared = self.learned_total()
+
+
+# -- raw-CNF pooling (differential battery) ----------------------------------
+
+
+class FormulaPool:
+    """Many CNFs, one warm incremental solver (the raw-CNF pool analogue).
+
+    Each added formula is shifted onto fresh pooled variables and its
+    clauses guarded by a per-formula activation literal; solving under
+    ``[activation]`` answers exactly that formula. This is the usage
+    pattern :class:`SolverPool` puts a solver through — interleaved
+    guarded families, assumption solving, state reuse across hundreds of
+    solves — distilled to plain CNFs so the differential battery can
+    pit it against fresh CDCL, DPLL and the native backend on any input.
+    """
+
+    def __init__(self, backend: Optional[str] = None):
+        self.backend = resolve_sat_backend(backend)
+        self._solver = new_sat_solver(self.backend)
+        self._handles: List[Tuple[int, int]] = []  # (activation, offset)
+
+    def add(self, cnf: CNF) -> int:
+        """Load *cnf* as a guarded family; returns its handle."""
+        offset = self._solver.num_vars
+        self._solver.ensure_vars(offset + cnf.num_vars)
+        activation = self._solver.new_var()
+        for clause in cnf.clauses:
+            guarded = [-activation]
+            guarded.extend(
+                lit + offset if lit > 0 else lit - offset for lit in clause
+            )
+            self._solver.add_clause(guarded)
+        handle = len(self._handles)
+        self._handles.append((activation, offset))
+        return handle
+
+    def solve(
+        self, handle: int, assumptions: Sequence[int] = ()
+    ) -> Optional[bool]:
+        """Solve formula *handle* under (unshifted) *assumptions*."""
+        activation, offset = self._handles[handle]
+        shifted = [activation]
+        shifted.extend(
+            lit + offset if lit > 0 else lit - offset for lit in assumptions
+        )
+        return self._solver.solve(assumptions=shifted)
+
+    def model(self, handle: int, num_vars: int) -> Dict[int, bool]:
+        """The last model, translated back to formula-local variables."""
+        activation, offset = self._handles[handle]
+        full = self._solver.model()
+        return {
+            var: full.get(var + offset, False)
+            for var in range(1, num_vars + 1)
+        }
+
+    def __len__(self) -> int:
+        return len(self._handles)

@@ -13,11 +13,20 @@ offline, so this module implements the same algorithmic recipe from scratch:
 The solver is incremental: clauses may be added between ``solve`` calls
 (this is what blocking-clause enumeration needs) and ``solve`` accepts
 assumption literals (used by the membership deciders).
+
+Propagation hot path: assignments, decision levels, saved phases and the
+trail live in typed :mod:`array` buffers (contiguous machine ints instead
+of lists of boxed objects), and the two-watched-literal scheme indexes a
+dense list of watch lists by encoded literal (``2*var`` for the positive
+literal, ``2*var + 1`` for the negative) instead of hashing literals into
+a dict. The visible behavior — propagation order, learning, restarts,
+member discovery order — is bit-identical to the boxed representation.
 """
 
 from __future__ import annotations
 
 import heapq
+from array import array
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .cnf import CNF
@@ -81,13 +90,18 @@ class CDCLSolver:
 
     def __init__(self, num_vars: int = 0):
         self._num_vars = 0
-        self._assign: List[int] = [_UNASSIGNED]
-        self._level: List[int] = [0]
+        # Typed buffers indexed by variable (slot 0 unused): signed bytes
+        # for the three-valued assignment and the saved phase, machine
+        # ints for decision levels and the literal trail.
+        self._assign = array("b", (_UNASSIGNED,))
+        self._level = array("i", (0,))
         self._reason: List[Optional[_Clause]] = [None]
-        self._activity: List[float] = [0.0]
-        self._phase: List[bool] = [False]
-        self._watches: Dict[int, List[_Clause]] = {}
-        self._trail: List[int] = []
+        self._activity = array("d", (0.0,))
+        self._phase = array("b", (0,))
+        # Watch lists indexed by encoded literal: 2*var for the positive
+        # literal, 2*var + 1 for the negative (slots 0/1 unused).
+        self._watches: List[List[_Clause]] = [[], []]
+        self._trail = array("i")
         self._trail_lim: List[int] = []
         self._queue_head = 0
         self._clauses: List[_Clause] = []
@@ -110,12 +124,17 @@ class CDCLSolver:
         self._level.append(0)
         self._reason.append(None)
         self._activity.append(0.0)
-        self._phase.append(False)
+        self._phase.append(0)
         var = self._num_vars
-        self._watches[var] = []
-        self._watches[-var] = []
+        self._watches.append([])  # encoded literal 2*var (positive)
+        self._watches.append([])  # encoded literal 2*var + 1 (negative)
         heapq.heappush(self._heap, (0.0, var))
         return var
+
+    @staticmethod
+    def _watch_index(lit: int) -> int:
+        """The dense watch-list slot of a literal."""
+        return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
 
     def ensure_vars(self, num_vars: int) -> None:
         """Grow the variable pool so that *num_vars* variables exist."""
@@ -142,7 +161,7 @@ class CDCLSolver:
         """
         for var, value in phases.items():
             self.ensure_vars(var)
-            self._phase[var] = bool(value)
+            self._phase[var] = 1 if value else 0
 
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a problem clause; returns ``False`` on a root-level conflict."""
@@ -183,8 +202,8 @@ class CDCLSolver:
         return True
 
     def _attach(self, clause: _Clause) -> None:
-        self._watches[clause.literals[0]].append(clause)
-        self._watches[clause.literals[1]].append(clause)
+        self._watches[self._watch_index(clause.literals[0])].append(clause)
+        self._watches[self._watch_index(clause.literals[1])].append(clause)
 
     # -- assignment machinery --------------------------------------------------
 
@@ -207,7 +226,7 @@ class CDCLSolver:
         self._assign[var] = _TRUE if lit > 0 else _FALSE
         self._level[var] = self._decision_level()
         self._reason[var] = reason
-        self._phase[var] = lit > 0
+        self._phase[var] = 1 if lit > 0 else 0
         self._trail.append(lit)
         return True
 
@@ -217,7 +236,10 @@ class CDCLSolver:
             self._queue_head += 1
             self.stats.propagations += 1
             falsified = -lit
-            watchers = self._watches[falsified]
+            falsified_slot = (
+                (falsified << 1) if falsified > 0 else ((-falsified) << 1) | 1
+            )
+            watchers = self._watches[falsified_slot]
             new_watchers: List[_Clause] = []
             conflict: Optional[_Clause] = None
             idx = 0
@@ -235,7 +257,7 @@ class CDCLSolver:
                 for k in range(2, len(lits)):
                     if self._value(lits[k]) != _FALSE:
                         lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[lits[1]].append(clause)
+                        self._watches[self._watch_index(lits[1])].append(clause)
                         found = True
                         break
                 if found:
@@ -245,7 +267,7 @@ class CDCLSolver:
                     conflict = clause
                     new_watchers.extend(watchers[idx:])
                     break
-            self._watches[falsified] = new_watchers
+            self._watches[falsified_slot] = new_watchers
             if conflict is not None:
                 self._queue_head = len(self._trail)
                 return conflict
@@ -403,11 +425,34 @@ class CDCLSolver:
 
     def _detach(self, clause: _Clause) -> None:
         for lit in clause.literals[:2]:
-            watchers = self._watches[lit]
+            watchers = self._watches[self._watch_index(lit)]
             try:
                 watchers.remove(clause)
             except ValueError:
                 pass
+
+    def prune_learned(self, max_lbd: int = 2) -> int:
+        """Drop learned clauses with LBD above *max_lbd*; return the count.
+
+        The retention filter of the incremental solver pool: low-LBD
+        clauses are the transferable conflict knowledge worth keeping
+        across per-fact solves, everything else is search-local noise.
+        Clauses currently locked as a reason on the trail are kept
+        regardless. Safe to call between ``solve`` calls.
+        """
+        self._backtrack(0)
+        locked = {id(reason) for reason in self._reason if reason is not None}
+        kept: List[_Clause] = []
+        dropped = 0
+        for clause in self._learned:
+            if clause.lbd > max_lbd and id(clause) not in locked:
+                self._detach(clause)
+                self.stats.removed += 1
+                dropped += 1
+            else:
+                kept.append(clause)
+        self._learned = kept
+        return dropped
 
     def solve(
         self,

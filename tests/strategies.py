@@ -88,6 +88,123 @@ def rule_bodies(draw, max_atoms: int = 6):
     return tuple(body)
 
 
+# -- random CNF generators (solver differential battery) --------------------
+#
+# Deterministic formula factories plus Hypothesis wrappers. The factories
+# take an explicit seed/shape so the battery can also enumerate fixed
+# grids ("20 seeds x every backend") outside Hypothesis, with failures
+# reproducible from the parametrize id alone.
+
+
+def random_3sat(num_vars: int, num_clauses: int, seed: int):
+    """A uniform random 3-SAT formula (the classic hard distribution).
+
+    At ratio ``num_clauses / num_vars ~ 4.26`` the instances sit near the
+    satisfiability phase transition, where both SAT and UNSAT outcomes
+    are common and solvers work hardest — the sweet spot for
+    differential testing.
+    """
+    import random as _random
+
+    from repro.sat.cnf import CNF
+
+    rng = _random.Random(seed)
+    cnf = CNF(num_vars=num_vars)
+    for _ in range(num_clauses):
+        lits = rng.sample(range(1, num_vars + 1), min(3, num_vars))
+        cnf.add_clause([lit if rng.random() < 0.5 else -lit for lit in lits])
+    return cnf
+
+
+def pigeonhole(pigeons: int, holes: int):
+    """The pigeonhole principle ``PHP(pigeons, holes)`` as CNF.
+
+    UNSAT exactly when ``pigeons > holes`` (and famously hard for
+    resolution as the gap narrows); SAT otherwise. Variable ``x_{p,h}``
+    is ``(p - 1) * holes + h``.
+    """
+    from repro.sat.cnf import CNF
+
+    cnf = CNF(num_vars=pigeons * holes)
+
+    def var(p: int, h: int) -> int:
+        return (p - 1) * holes + h
+
+    for p in range(1, pigeons + 1):
+        cnf.add_clause([var(p, h) for h in range(1, holes + 1)])
+    for h in range(1, holes + 1):
+        for p1 in range(1, pigeons + 1):
+            for p2 in range(p1 + 1, pigeons + 1):
+                cnf.add_clause([-var(p1, h), -var(p2, h)])
+    return cnf
+
+
+def graph_coloring(num_nodes: int, edge_prob: float, colors: int, seed: int):
+    """Proper ``colors``-coloring of a random graph, as CNF.
+
+    Variable ``x_{n,c}`` is ``(n - 1) * colors + c``. Returns the CNF
+    together with the edge list so tests can check decoded colorings.
+    """
+    import random as _random
+
+    from repro.sat.cnf import CNF
+
+    rng = _random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(1, num_nodes + 1)
+        for v in range(u + 1, num_nodes + 1)
+        if rng.random() < edge_prob
+    ]
+    cnf = CNF(num_vars=num_nodes * colors)
+
+    def var(n: int, c: int) -> int:
+        return (n - 1) * colors + c
+
+    for n in range(1, num_nodes + 1):
+        cnf.add_clause([var(n, c) for c in range(1, colors + 1)])
+        for c1 in range(1, colors + 1):
+            for c2 in range(c1 + 1, colors + 1):
+                cnf.add_clause([-var(n, c1), -var(n, c2)])
+    for u, v in edges:
+        for c in range(1, colors + 1):
+            cnf.add_clause([-var(u, c), -var(v, c)])
+    return cnf, edges
+
+
+@st.composite
+def random_3sat_formulas(draw, max_vars: int = 12):
+    """Hypothesis wrapper: a 3-SAT instance near the phase transition."""
+    num_vars = draw(st.integers(min_value=3, max_value=max_vars))
+    ratio = draw(st.floats(min_value=3.0, max_value=5.5))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_3sat(num_vars, max(1, round(num_vars * ratio)), seed)
+
+
+@st.composite
+def pigeonhole_formulas(draw, max_holes: int = 4):
+    """Hypothesis wrapper: PHP with pigeons in ``holes +- 1``."""
+    holes = draw(st.integers(min_value=1, max_value=max_holes))
+    pigeons = draw(st.integers(min_value=max(1, holes - 1), max_value=holes + 1))
+    return pigeonhole(pigeons, holes)
+
+
+@st.composite
+def coloring_formulas(draw, max_nodes: int = 7):
+    """Hypothesis wrapper: random-graph coloring (CNF only)."""
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    edge_prob = draw(st.floats(min_value=0.2, max_value=0.9))
+    colors = draw(st.integers(min_value=2, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return graph_coloring(num_nodes, edge_prob, colors, seed)[0]
+
+
+#: Any battery formula: the three families, one strategy.
+cnf_formulas = st.one_of(
+    random_3sat_formulas(), pigeonhole_formulas(), coloring_formulas()
+)
+
+
 @st.composite
 def instance_deltas(draw):
     """One non-empty delta drawn from a generated instance's sequence."""
