@@ -10,7 +10,8 @@ size — is the trend the fixed scenarios cannot show.
 Knobs (environment):
 
 * ``REPRO_BENCH_SYN_FAMILIES`` — comma list (default
-  ``chain,grid,tree,widejoin,dag``);
+  :data:`repro.scenarios.synthetic.DEFAULT_BENCH_FAMILIES`:
+  ``chain,grid,tree,widejoin,dag,deps``);
 * ``REPRO_BENCH_SYN_SIZES`` — comma list of sizes (default ``8,16,32,64``);
 * ``REPRO_BENCH_SYN_SEED`` — generator seed (default ``0``);
 * plus the standard ``REPRO_BENCH_TUPLES`` / ``REPRO_BENCH_MEMBERS`` /
@@ -24,7 +25,11 @@ import time
 
 from repro.core.session import ProvenanceSession
 from repro.datalog.engine import evaluate
-from repro.scenarios.synthetic import FAMILIES, generate_instance
+from repro.scenarios.synthetic import (
+    DEFAULT_BENCH_FAMILIES,
+    FAMILIES,
+    generate_instance,
+)
 
 from _common import (
     BENCH_MEMBERS,
@@ -42,7 +47,7 @@ from repro.harness.runner import run_database, sample_answer_tuples
 SYN_FAMILIES = [
     part.strip()
     for part in os.environ.get(
-        "REPRO_BENCH_SYN_FAMILIES", "chain,grid,tree,widejoin,dag"
+        "REPRO_BENCH_SYN_FAMILIES", ",".join(DEFAULT_BENCH_FAMILIES)
     ).split(",")
     if part.strip()
 ]

@@ -85,7 +85,7 @@ from .provenance import (
 )
 from .sat import CDCLSolver, CNF, solve_cnf
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Atom",

@@ -33,6 +33,17 @@ Families
     Mixed-family composition: a chain copy and a tree copy glued by
     seeded bridge facts and a cross-family join rule, plus union rules —
     recursion through a join of two independently generated families.
+``deps``
+    Package dependency resolution over repodata-shaped EDB relations
+    (``dep_root``, ``dep_depends``, ``dep_provides``, ``dep_conflicts``):
+    package-versions depend on *capabilities*, capabilities may have
+    several providers (ambiguity grows with ``size``), and the rules
+    close ``dep_requires`` through the depends x provides join so the
+    answer ``dep_justified(Pkg, Root)`` reads "Root's install justifies
+    Pkg" — why-provenance as install justification, minimal explanations
+    as minimal install justifications. Its delta sequences model
+    *upgrades* (retire one package-version's edges, publish the next
+    version's) instead of random fact churn.
 
 Every generator returns a standard
 :class:`~repro.scenarios.base.Scenario`, so synthetic workloads plug into
@@ -205,6 +216,66 @@ def _mixed_family(size: int, rng: random.Random) -> Tuple[str, List[Atom], str]:
     return program, facts, "m_mix"
 
 
+def _deps_family(size: int, rng: random.Random) -> Tuple[str, List[Atom], str]:
+    # Repodata shape: package i has versions ``p{i}v{k}``, every version
+    # provides its package's ``lib{i}`` capability, virtual capabilities
+    # ``virt{j}`` have several providers (the ambiguity that gives one
+    # installation many distinct justifications), and dependencies point
+    # at capabilities — never directly at packages — so ``dep_requires``
+    # must go through the depends x provides join both in the base case
+    # and in every recursive step.
+    program = """
+    dep_requires(P, Q) :- dep_depends(P, C), dep_provides(Q, C).
+    dep_requires(P, R) :- dep_requires(P, Q), dep_depends(Q, C), dep_provides(R, C).
+    dep_installed(P) :- dep_root(P).
+    dep_installed(Q) :- dep_installed(P), dep_requires(P, Q).
+    dep_justified(P, P) :- dep_root(P).
+    dep_justified(Q, P) :- dep_root(P), dep_requires(P, Q).
+    dep_clash(P, Q) :- dep_installed(P), dep_conflicts(P, Q), dep_installed(Q).
+    """
+    npkgs = max(3, (size + 1) // 2)
+    fanout = 1 + min(3, size // 8)  # dependency fan-out cap grows with size
+    versions: List[Tuple[int, str]] = []  # (package index, version constant)
+    facts: List[Atom] = []
+    for i in range(npkgs):
+        for k in range(2 if rng.random() < 0.35 else 1):
+            version = f"p{i}v{k}"
+            versions.append((i, version))
+            facts.append(Atom("dep_provides", (version, f"lib{i}")))
+    # Virtual capabilities: several providers each — provider ambiguity.
+    for j in range(max(1, size // 4)):
+        capability = f"virt{j}"
+        for _, version in rng.sample(versions, min(2 + rng.randrange(2), len(versions))):
+            facts.append(Atom("dep_provides", (version, capability)))
+    virtuals = [f"virt{j}" for j in range(max(1, size // 4))]
+    for i, version in versions:
+        if i == 0:
+            continue  # package 0 is the dependency-free base
+        for _ in range(1 + rng.randrange(fanout)):
+            if rng.random() < 0.3:
+                capability = rng.choice(virtuals)
+            else:
+                capability = f"lib{rng.randrange(i)}"
+            facts.append(Atom("dep_depends", (version, capability)))
+    # Conflicts: co-installed versions of one package always clash, plus
+    # a few seeded cross-package pairs.
+    by_package: Dict[int, List[str]] = {}
+    for i, version in versions:
+        by_package.setdefault(i, []).append(version)
+    for i, pair in by_package.items():
+        if len(pair) == 2:
+            facts.append(Atom("dep_conflicts", (pair[0], pair[1])))
+            facts.append(Atom("dep_conflicts", (pair[1], pair[0])))
+    for _ in range(max(1, size // 6)):
+        (_, a), (_, b) = rng.sample(versions, 2)
+        facts.append(Atom("dep_conflicts", (a, b)))
+    # Roots (the explicit install set): the top packages' first versions,
+    # whose dependency closures reach down through the whole repo.
+    for r in range(max(1, npkgs // 6)):
+        facts.append(Atom("dep_root", (f"p{npkgs - 1 - r}v0",)))
+    return program, facts, "dep_justified"
+
+
 #: ``family name -> generator``, in registration order (``fuzz --family all``).
 FAMILIES: Dict[str, Callable[[int, random.Random], Tuple[str, List[Atom], str]]] = {
     "chain": _chain_family,
@@ -213,7 +284,20 @@ FAMILIES: Dict[str, Callable[[int, random.Random], Tuple[str, List[Atom], str]]]
     "widejoin": _widejoin_family,
     "dag": _dag_family,
     "mixed": _mixed_family,
+    "deps": _deps_family,
 }
+
+#: The default family ladder shared by the benchmarks and CI smoke steps
+#: (``mixed`` is left out: it recombines chain + tree, so it adds nothing
+#: on a scale axis that the constituent families do not already show).
+DEFAULT_BENCH_FAMILIES: Tuple[str, ...] = (
+    "chain",
+    "grid",
+    "tree",
+    "widejoin",
+    "dag",
+    "deps",
+)
 
 
 # -- instances ----------------------------------------------------------------
@@ -255,29 +339,35 @@ class SyntheticInstance:
         return [delta_to_lines(delta) for delta in self.deltas]
 
     def scenario(self) -> Scenario:
-        """This instance as a standard harness/benchmark :class:`Scenario`."""
+        """This instance as a standard harness/benchmark :class:`Scenario`.
+
+        The factories share *this* instance's already-generated query and
+        database instead of regenerating the whole instance per access
+        (program parse + database build + delta derivation, once for the
+        query and once per database build). The query is immutable and
+        shared outright; the database factory hands out a fresh copy per
+        call, preserving the copy-before-mutate contract.
+        """
         program = self.query.program
         query_type = (
             ("linear, " if program.is_linear() else "non-linear, ")
             + ("recursive" if program.is_recursive() else "non-recursive")
         )
-        family, size, seed = self.family, self.size, self.seed
+        query, database = self.query, self.database
         return Scenario(
             name=self.name,
-            query_factory=lambda: generate_instance(family, size=size, seed=seed).query,
+            query_factory=lambda: query,
             databases=(
                 ScenarioDatabase(
                     name="gen",
-                    factory=lambda: generate_instance(
-                        family, size=size, seed=seed
-                    ).database.copy(),
-                    description=f"seeded synthetic {family} instance "
-                    f"(size {size}, seed {seed})",
+                    factory=database.copy,
+                    description=f"seeded synthetic {self.family} instance "
+                    f"(size {self.size}, seed {self.seed})",
                 ),
             ),
             query_type=query_type,
             num_rules=len(program.rules),
-            description=f"synthetic {family} workload family",
+            description=f"synthetic {self.family} workload family",
         )
 
     def with_deltas(self, deltas: Sequence[Delta]) -> "SyntheticInstance":
@@ -291,6 +381,7 @@ def _generate_deltas(
     seed: int,
     database: Database,
     edb: Sequence[str],
+    arities: Dict[str, int],
     rounds: int,
 ) -> Tuple[Delta, ...]:
     """A seeded sequence of EDB deltas that stays sensible under replay.
@@ -300,38 +391,165 @@ def _generate_deltas(
     fact, tracked against a simulated database copy so deletions always
     hit live facts and insertions are always new. Deterministic: every
     draw comes from sorted snapshots of the simulated state.
+
+    Every round emits a non-empty delta, so the returned tuple always has
+    exactly ``rounds`` entries and the sequence is *prefix-stable* in
+    ``rounds`` (regenerating with fewer rounds replays the identical
+    prefix — the determinism property tests assert both). Predicates and
+    arities come from the program schema, not the database, so rounds
+    keep emitting even after deletions drain the simulated state; the one
+    genuinely impossible input — a program with no EDB predicates at all —
+    raises ``ValueError`` instead of silently under-delivering.
     """
     rng = _rng(family, size, seed, stream="deltas")
     simulated = database.copy()
-    predicates = sorted(set(edb) & {f.pred for f in database})
-    arity = {f.pred: len(f.args) for f in database}
+    predicates = sorted(edb)
+    if not predicates:
+        raise ValueError(
+            f"cannot generate {rounds} delta round(s) for {family!r}: "
+            "the program has no EDB predicates to edit"
+        )
     deltas: List[Delta] = []
     for round_index in range(rounds):
         domain = sorted(map(str, simulated.active_domain()))
         live = sorted(simulated, key=str)
-        if not predicates or not domain or not live:
-            break
         inserted: List[Atom] = []
         for i in range(1 + rng.randrange(2)):
             pred = rng.choice(predicates)
             args = tuple(
-                f"u{round_index}x{i}" if rng.random() < 0.25 else rng.choice(domain)
-                for _ in range(arity[pred])
+                f"u{round_index}x{i}"
+                if not domain or rng.random() < 0.25
+                else rng.choice(domain)
+                for _ in range(arities[pred])
             )
             fact = Atom(pred, args)
             if fact not in simulated and fact not in inserted:
                 inserted.append(fact)
-        deleted = [rng.choice(live)] if rng.random() < 0.8 else []
+        deleted = [rng.choice(live)] if live and rng.random() < 0.8 else []
         deleted = [fact for fact in deleted if fact not in inserted]
         if not inserted and not deleted:
-            # Every round must emit: the sequence is then *prefix-stable*
-            # in ``rounds`` (regenerating with fewer rounds replays the
-            # identical prefix — the determinism property tests assert).
-            deleted = [rng.choice(live)]
+            if live:
+                deleted = [rng.choice(live)]
+            else:
+                # An empty simulated state cannot collide with a fully
+                # fresh fact, so the round still emits.
+                pred = rng.choice(predicates)
+                inserted = [
+                    Atom(
+                        pred,
+                        tuple(f"u{round_index}f{j}" for j in range(arities[pred])),
+                    )
+                ]
         delta = Delta(inserted=frozenset(inserted), deleted=frozenset(deleted))
         simulated.apply(delta)
         deltas.append(delta)
     return tuple(deltas)
+
+
+#: Version constants of the ``deps`` family (``p<package>v<version>``).
+_DEPS_VERSION = re.compile(r"^p(\d+)v(\d+)$")
+
+
+def _deps_deltas(
+    family: str,
+    size: int,
+    seed: int,
+    database: Database,
+    edb: Sequence[str],
+    arities: Dict[str, int],
+    rounds: int,
+) -> Tuple[Delta, ...]:
+    """Upgrade-shaped deltas for the ``deps`` family.
+
+    Each round is one package *upgrade*, the way a repodata snapshot
+    actually changes: pick a live package-version, retire every edge that
+    mentions it (its ``dep_provides`` / ``dep_depends`` / ``dep_conflicts``
+    rows, its ``dep_root`` membership, conflicts pointing *at* it), and
+    publish the next version — same provided capabilities (so dependents
+    stay resolvable), dependencies re-drawn with seeded drift, root status
+    carried over, occasionally a fresh conflict. Same emission contract
+    as :func:`_generate_deltas`: exactly ``rounds`` non-empty deltas,
+    prefix-stable in ``rounds``.
+    """
+    rng = _rng(family, size, seed, stream="deltas")
+    simulated = database.copy()
+    deltas: List[Delta] = []
+    for round_index in range(rounds):
+        facts = sorted(simulated, key=str)
+        live = sorted(
+            {
+                fact.args[0]
+                for fact in facts
+                if fact.pred == "dep_provides"
+                and _DEPS_VERSION.match(str(fact.args[0]))
+            }
+        )
+        if not live:
+            # A drained repo (only reachable on hand-reduced instances):
+            # publish a fresh dependency-free root package, which always
+            # emits and re-seeds the live set for later rounds.
+            fresh = f"q{round_index}v0"
+            inserted = [
+                Atom("dep_provides", (fresh, f"qlib{round_index}")),
+                Atom("dep_root", (fresh,)),
+            ]
+            delta = Delta(inserted=frozenset(inserted))
+            simulated.apply(delta)
+            deltas.append(delta)
+            continue
+        old = rng.choice(live)
+        package = _DEPS_VERSION.match(old).group(1)
+        # The successor version number: one past the largest ever seen
+        # for this package anywhere in the simulated state.
+        top = 0
+        for fact in facts:
+            for arg in fact.args:
+                match = _DEPS_VERSION.match(str(arg))
+                if match and match.group(1) == package:
+                    top = max(top, int(match.group(2)))
+        new = f"p{package}v{top + 1}"
+        deleted = [
+            fact for fact in facts if old in fact.args
+        ]
+        capabilities = sorted(
+            {fact.args[1] for fact in facts if fact.pred == "dep_provides"}
+        )
+        inserted = []
+        for fact in deleted:
+            if fact.pred == "dep_provides":
+                inserted.append(Atom("dep_provides", (new, fact.args[1])))
+            elif fact.pred == "dep_root":
+                inserted.append(Atom("dep_root", (new,)))
+            elif fact.pred == "dep_depends":
+                capability = fact.args[1]
+                if rng.random() < 0.3:  # dependency drift across versions
+                    capability = rng.choice(capabilities)
+                inserted.append(Atom("dep_depends", (new, capability)))
+            # Conflicts are not carried over: the old pairings named the
+            # retired version; fresh ones are drawn below.
+        if rng.random() < 0.25:
+            other = rng.choice(live)
+            if other != old:
+                inserted.append(Atom("dep_conflicts", (new, other)))
+        # ``new`` never occurred before, so every insertion is genuinely
+        # fresh; dedup only against this round's own draws.
+        delta = Delta(inserted=frozenset(inserted), deleted=frozenset(deleted))
+        simulated.apply(delta)
+        deltas.append(delta)
+    return tuple(deltas)
+
+
+#: Families whose deltas are *not* the generic churn of
+#: :func:`_generate_deltas` — the ``deps`` family models upgrades.
+DELTA_GENERATORS: Dict[
+    str,
+    Callable[
+        [str, int, int, Database, Sequence[str], Dict[str, int], int],
+        Tuple[Delta, ...],
+    ],
+] = {
+    "deps": _deps_deltas,
+}
 
 
 def generate_instance(
@@ -344,8 +562,9 @@ def generate_instance(
 
     Same ``(family, size, seed, delta_rounds)``, same instance — down to
     the program text, the database text, and the delta lines (the
-    property ``tests/test_synthetic.py`` asserts). Raises ``KeyError``
-    for an unknown family, ``ValueError`` for a non-positive size.
+    property ``tests/test_synthetic.py`` asserts). The delta sequence
+    always has exactly ``delta_rounds`` entries. Raises ``KeyError`` for
+    an unknown family, ``ValueError`` for a non-positive size.
     """
     try:
         generator = FAMILIES[family]
@@ -358,8 +577,18 @@ def generate_instance(
     program = parse_program(program_text)
     query = DatalogQuery(program, answer)
     database = Database(facts).restrict(program.edb)
+    edb = sorted(program.edb)
+    delta_generator = DELTA_GENERATORS.get(family, _generate_deltas)
     deltas = (
-        _generate_deltas(family, size, seed, database, sorted(program.edb), delta_rounds)
+        delta_generator(
+            family,
+            size,
+            seed,
+            database,
+            edb,
+            {pred: program.arity(pred) for pred in edb},
+            delta_rounds,
+        )
         if delta_rounds
         else ()
     )
@@ -390,13 +619,17 @@ def synthetic(
 def scenario_from_name(name: str):
     """Parse ``synthetic-<family>-n<size>-s<seed>`` into a Scenario.
 
-    Returns ``None`` when the name is not of that shape (so
-    :func:`~repro.scenarios.base.get_scenario` can fall through to its
-    registry error); raises ``KeyError`` for a well-shaped name with an
-    unknown family.
+    Returns ``None`` when the name is not of that shape *or* names an
+    instance no generator can produce (a non-positive size), so
+    :func:`~repro.scenarios.base.get_scenario` falls through to its
+    registry ``KeyError`` with the known-scenarios message instead of
+    leaking :func:`generate_instance`'s ``ValueError``; raises
+    ``KeyError`` for a well-shaped name with an unknown family.
     """
     match = _NAME_PATTERN.match(name)
     if match is None:
         return None
     family, size, seed = match.group(1), int(match.group(2)), int(match.group(3))
+    if size < 1:
+        return None
     return synthetic(family, size=size, seed=seed)

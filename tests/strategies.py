@@ -16,7 +16,8 @@ from repro.datalog.plans import ENGINES
 from repro.datalog.terms import Variable
 from repro.scenarios.synthetic import FAMILIES, SyntheticInstance, generate_instance
 
-#: Every family name, as a sampling strategy.
+#: Every family name (including the repodata-shaped ``deps`` family), as
+#: a sampling strategy — new families join every property automatically.
 family_names = st.sampled_from(sorted(FAMILIES))
 
 #: Every evaluation engine name (``repro.datalog.plans.ENGINES``), for
@@ -48,6 +49,21 @@ def synthetic_instances(
         size=draw(size),
         seed=draw(seed),
         delta_rounds=draw(rounds),
+    )
+
+
+@st.composite
+def deps_instances(draw, size=sizes, seed=seeds, rounds=delta_rounds):
+    """A ``deps``-family instance: repodata EDB plus upgrade deltas.
+
+    The dedicated strategy for the dependency-resolution properties
+    (install-justification shape, upgrade-delta structure) that only
+    hold on this family.
+    """
+    return draw(
+        synthetic_instances(
+            families=st.just("deps"), size=size, seed=seed, rounds=rounds
+        )
     )
 
 
@@ -207,16 +223,12 @@ cnf_formulas = st.one_of(
 
 @st.composite
 def instance_deltas(draw):
-    """One non-empty delta drawn from a generated instance's sequence."""
+    """One non-empty delta drawn from a generated instance's sequence.
+
+    The generators guarantee every requested round emits, so a
+    ``rounds >= 1`` instance always has a delta to draw from.
+    """
     instance = draw(
         synthetic_instances(rounds=st.integers(min_value=1, max_value=3))
     )
-    if not instance.deltas:
-        # A degenerate database can yield no sensible deltas; fall back
-        # to deleting one of the instance's own facts (trivially valid
-        # over its schema).
-        from repro.datalog.database import Delta
-
-        fact = sorted(instance.database, key=str)[0]
-        return Delta(deleted=frozenset((fact,)))
     return instance.deltas[draw(st.integers(0, len(instance.deltas) - 1))]

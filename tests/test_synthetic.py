@@ -7,15 +7,19 @@ test), and the shrinker (driven by an injected divergence, since the
 real stack currently agrees everywhere).
 """
 
+import re
+
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.session import ProvenanceSession
+from repro.datalog.database import Database
 from repro.scenarios import get_scenario
 from repro.scenarios.synthetic import (
     DEFAULT_SIZE,
     FAMILIES,
+    _generate_deltas,
     generate_instance,
     scenario_from_name,
     synthetic,
@@ -27,7 +31,7 @@ from repro.testing.oracle import (
     shrink,
 )
 
-from strategies import synthetic_instances
+from strategies import deps_instances, family_names, synthetic_instances
 
 #: The oracle evaluates every example through several full pipelines;
 #: generous deadlines and few examples keep the property honest but fast.
@@ -83,6 +87,34 @@ class TestGeneratorDeterminism:
             assert effective.inserted == delta.inserted
             assert effective.deleted == delta.deleted
 
+    @given(
+        family=family_names,
+        size=st.integers(1, 20),
+        seed=st.integers(0, 500),
+        rounds=st.integers(0, 5),
+    )
+    @quick_settings
+    def test_every_requested_round_emits(self, family, size, seed, rounds):
+        # The docstring contract: exactly ``delta_rounds`` deltas, every
+        # one non-empty — never a silent shortfall.
+        instance = generate_instance(family, size=size, seed=seed, delta_rounds=rounds)
+        assert len(instance.deltas) == rounds
+        assert all(delta for delta in instance.deltas)
+
+    def test_rounds_keep_emitting_from_an_empty_database(self):
+        # Deletions can in principle drain the simulated state; the
+        # generic generator must then fall back to fully fresh inserts
+        # (predicates/arities come from the program, not the database).
+        deltas = _generate_deltas(
+            "chain", 4, 0, Database(), ["c_e"], {"c_e": 2}, 5
+        )
+        assert len(deltas) == 5
+        assert all(delta for delta in deltas)
+
+    def test_no_edb_program_surfaces_the_shortfall(self):
+        with pytest.raises(ValueError, match="no EDB predicates"):
+            _generate_deltas("chain", 4, 0, Database(), [], {}, 2)
+
     def test_unknown_family_raises(self):
         with pytest.raises(KeyError, match="unknown synthetic family"):
             generate_instance("nosuch")
@@ -124,6 +156,141 @@ class TestScenarioPlumbing:
         with pytest.raises(KeyError, match="unknown synthetic family"):
             scenario_from_name("synthetic-zebra-n5-s1")
 
+    def test_get_scenario_rejects_zero_size_with_contract_error(self):
+        # Regression: a well-shaped name with an impossible size used to
+        # leak generate_instance's bare ValueError through get_scenario
+        # instead of the documented known-scenarios KeyError.
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("synthetic-chain-n0-s0")
+
+    def test_scenario_from_name_treats_zero_size_as_foreign(self):
+        assert scenario_from_name("synthetic-chain-n0-s0") is None
+        assert scenario_from_name("synthetic-deps-n0-s3") is None
+
+    def test_scenario_factories_do_not_regenerate(self, monkeypatch):
+        # Regression: scenario() used to regenerate the whole instance
+        # (parse + database build + deltas) once per query access and
+        # once per database build.
+        import repro.scenarios.synthetic as synthetic_module
+
+        calls = {"count": 0}
+        real = FAMILIES["chain"]
+
+        def counting(size, rng):
+            calls["count"] += 1
+            return real(size, rng)
+
+        monkeypatch.setitem(synthetic_module.FAMILIES, "chain", counting)
+        instance = generate_instance("chain", size=8, seed=1)
+        assert calls["count"] == 1
+        scenario = instance.scenario()
+        assert scenario.query() == instance.query
+        first = scenario.database("gen")
+        second = scenario.database("gen")
+        assert calls["count"] == 1, "scenario factories regenerated the instance"
+        # Copy-before-mutate still holds: each build is a private copy.
+        assert first == second == instance.database
+        assert first is not second
+        assert first is not instance.database
+
+
+class TestDepsFamily:
+    """The dependency-resolution workload: repodata shape, upgrade deltas."""
+
+    def test_determinism_over_a_seed_band(self):
+        for seed in range(12):
+            first = generate_instance("deps", size=14, seed=seed, delta_rounds=3)
+            again = generate_instance("deps", size=14, seed=seed, delta_rounds=3)
+            assert again.program_text() == first.program_text()
+            assert again.database_text() == first.database_text()
+            assert again.delta_lines() == first.delta_lines()
+
+    def test_name_round_trip(self):
+        instance = generate_instance("deps", size=9, seed=5)
+        assert instance.name == "synthetic-deps-n9-s5"
+        scenario = get_scenario(instance.name)
+        assert scenario.name == instance.name
+        assert scenario.database("gen") == instance.database
+        assert scenario.query() == instance.query
+
+    def test_repodata_shape(self):
+        instance = generate_instance("deps", size=16, seed=0)
+        predicates = {fact.pred for fact in instance.database}
+        assert predicates == {
+            "dep_root",
+            "dep_depends",
+            "dep_provides",
+            "dep_conflicts",
+        }
+        # Every version provides something, and every dependency names a
+        # capability some version provides (installs are resolvable).
+        provided = {
+            fact.args[1]
+            for fact in instance.database
+            if fact.pred == "dep_provides"
+        }
+        depended = {
+            fact.args[1]
+            for fact in instance.database
+            if fact.pred == "dep_depends"
+        }
+        assert depended <= provided
+        assert instance.query.answer_predicate == "dep_justified"
+
+    def test_roots_justify_themselves(self):
+        instance = generate_instance("deps", size=16, seed=3)
+        session = ProvenanceSession(instance.query, instance.database.copy())
+        answers = set(session.answers())
+        roots = {
+            fact.args[0] for fact in instance.database if fact.pred == "dep_root"
+        }
+        assert roots
+        for root in roots:
+            assert (root, root) in answers
+        # Every justified package traces back to a root.
+        assert {answer[1] for answer in answers} <= roots
+
+    @given(instance=deps_instances(rounds=st.integers(1, 3)))
+    @quick_settings
+    def test_deltas_are_upgrade_shaped(self, instance):
+        version = re.compile(r"^p(\d+)v(\d+)$")
+        for delta in instance.deltas:
+            if not delta.deleted:
+                continue  # the drained-repo fallback round inserts only
+            # One retired package-version per round: it anchors every
+            # deletion, and the published successor — the single first
+            # argument of every insertion — bumps its version number.
+            published = {fact.args[0] for fact in delta.inserted}
+            assert len(published) == 1
+            (new,) = published
+            new_match = version.match(new)
+            assert new_match is not None
+            retired = [
+                arg
+                for fact in delta.deleted
+                for arg in fact.args
+                if version.match(str(arg))
+                and version.match(str(arg)).group(1) == new_match.group(1)
+                and all(
+                    str(arg) in map(str, other.args) for other in delta.deleted
+                )
+            ]
+            assert retired, "deletions do not share a retired version"
+            old = retired[0]
+            assert int(new_match.group(2)) > int(
+                version.match(str(old)).group(2)
+            )
+
+    @given(seed=st.integers(0, 60))
+    @oracle_settings
+    def test_oracle_agreement_over_a_seed_band(self, seed):
+        instance = generate_instance("deps", size=10, seed=seed, delta_rounds=2)
+        config = OracleConfig(
+            paths=("cold", "warm", "incremental"), limit=3, tuples_per_state=2
+        )
+        report = run_oracle(instance, config)
+        assert report.ok, "\n".join(d.describe() for d in report.divergences)
+
 
 class TestOracleAgreement:
     """The fuzz invariant, as properties (in-process paths for speed)."""
@@ -143,7 +310,7 @@ class TestOracleAgreement:
         assert report.ok, "\n".join(d.describe() for d in report.divergences)
 
     def test_all_five_paths_agree_on_fixed_instances(self):
-        for family, seed in (("chain", 9), ("widejoin", 9), ("mixed", 9)):
+        for family, seed in (("chain", 9), ("widejoin", 9), ("mixed", 9), ("deps", 9)):
             instance = generate_instance(family, size=10, seed=seed, delta_rounds=1)
             report = run_oracle(
                 instance, OracleConfig(paths=ALL_PATHS, limit=3, tuples_per_state=2)
